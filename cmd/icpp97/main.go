@@ -1,0 +1,85 @@
+// Command icpp97 regenerates the figures and tables of Choi & Snyder,
+// "Quantifying the Effects of Communication Optimizations" (ICPP 1997) on
+// the simulated machines.
+//
+// Usage:
+//
+//	icpp97                 # everything
+//	icpp97 -exp fig10a     # one figure or table
+//	icpp97 -procs 16       # a different partition size
+//	icpp97 -quick          # reduced problem sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commopt/internal/experiments"
+	"commopt/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling")
+	procs := flag.Int("procs", 64, "processors in the simulated partition")
+	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	flag.Parse()
+
+	r := experiments.NewRunner(*procs)
+	r.Quick = *quick
+	if err := run(*exp, r); err != nil {
+		fmt.Fprintln(os.Stderr, "icpp97:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, r *experiments.Runner) error {
+	w := os.Stdout
+	table := func(t *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}
+	switch exp {
+	case "all":
+		return experiments.RunAll(w, r)
+	case "fig3":
+		experiments.Fig3().Render(w)
+	case "fig5":
+		experiments.Fig5().Render(w)
+	case "fig6":
+		for _, s := range experiments.Fig6() {
+			s.Render(w)
+		}
+	case "fig7":
+		experiments.Fig7().Render(w)
+	case "fig8":
+		return table(experiments.Fig8(r))
+	case "fig9":
+		experiments.Fig9().Render(w)
+	case "fig10a":
+		return table(experiments.Fig10a(r))
+	case "fig10b":
+		return table(experiments.Fig10b(r))
+	case "fig11":
+		return table(experiments.Fig11(r))
+	case "fig12":
+		return table(experiments.Fig12(r))
+	case "scaling":
+		for _, name := range experiments.BenchNames() {
+			t, err := experiments.Scaling(name, experiments.DefaultScalingProcs, r.Quick)
+			if err != nil {
+				return err
+			}
+			t.Render(w)
+		}
+	case "table1", "table2", "table3", "table4":
+		idx := int(exp[5] - '1')
+		return table(experiments.AppendixTable(r, experiments.BenchNames()[idx]))
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

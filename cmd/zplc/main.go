@@ -1,0 +1,142 @@
+// Command zplc compiles a ZPL program and reports its communication plan:
+// the transfers the optimizer generates per basic block, their IRONMAN
+// call placements, and the static communication counts under each
+// optimization level.
+//
+// Usage:
+//
+//	zplc [-O baseline|rr|cc|pl|pl-maxlat] [-dump] [-counts] file.zpl
+//	zplc -bench tomcatv -counts       # compile a bundled benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commopt/internal/comm"
+	"commopt/internal/ir"
+	"commopt/internal/programs"
+	"commopt/internal/report"
+	"commopt/internal/zpl"
+)
+
+func main() {
+	level := flag.String("O", "pl", "optimization level: baseline, rr, cc, pl, pl-maxlat")
+	dump := flag.Bool("dump", false, "dump every basic block's transfers and call placements")
+	counts := flag.Bool("counts", false, "print static counts under every optimization level")
+	bench := flag.String("bench", "", "compile a bundled benchmark (tomcatv, swm, simple, sp) instead of a file")
+	inline := flag.Bool("inline", false, "inline procedure calls before communication analysis (Section 4 extension)")
+	hoist := flag.Bool("hoist", false, "hoist loop-invariant communication to loop preheaders (Section 4 extension)")
+	flag.Parse()
+
+	if err := run(*level, *dump, *counts, *bench, *inline, *hoist, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "zplc:", err)
+		os.Exit(1)
+	}
+}
+
+// OptionsByName maps command-line level names to optimizer options.
+func OptionsByName(name string) (comm.Options, error) {
+	switch name {
+	case "baseline":
+		return comm.Baseline(), nil
+	case "rr":
+		return comm.RR(), nil
+	case "cc":
+		return comm.CC(), nil
+	case "pl":
+		return comm.PL(), nil
+	case "pl-maxlat":
+		return comm.PLMaxLatency(), nil
+	}
+	return comm.Options{}, fmt.Errorf("unknown optimization level %q", name)
+}
+
+func run(level string, dump, counts bool, bench string, inline, hoist bool, args []string) error {
+	var src, name string
+	switch {
+	case bench != "":
+		b, err := programs.ByName(bench)
+		if err != nil {
+			return err
+		}
+		src, name = b.Source, b.Name
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src, name = string(data), args[0]
+	default:
+		return fmt.Errorf("usage: zplc [flags] file.zpl (or -bench name)")
+	}
+
+	ast, err := zpl.Parse(src)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if inline {
+		prog = ir.Inline(prog)
+	}
+	opts, err := OptionsByName(level)
+	if err != nil {
+		return err
+	}
+	opts.HoistInvariant = hoist
+	plan := comm.BuildPlan(prog, opts)
+	if err := comm.CheckPlan(plan); err != nil {
+		return fmt.Errorf("internal error: invalid plan: %w", err)
+	}
+
+	fmt.Printf("program %s: %d arrays, %d regions, %d directions, %d procedures\n",
+		prog.Name, len(prog.Arrays), len(prog.Regions), len(prog.Dirs), len(prog.Procs))
+	fmt.Printf("optimization %s: %d static communications", opts, plan.StaticCount)
+	if hoist {
+		fmt.Printf(" (%d hoisted to loop preheaders)", plan.HoistedCount())
+	}
+	fmt.Print("\n\n")
+
+	if counts {
+		t := &report.Table{
+			Title:   "static communication counts by optimization level",
+			Headers: []string{"level", "static count", "% of baseline"},
+		}
+		base := comm.BuildPlan(prog, comm.Baseline()).StaticCount
+		for _, lv := range []string{"baseline", "rr", "cc", "pl", "pl-maxlat"} {
+			o, _ := OptionsByName(lv)
+			p := comm.BuildPlan(prog, o)
+			pctS := "n/a"
+			if base > 0 {
+				pctS = fmt.Sprintf("%.0f%%", 100*float64(p.StaticCount)/float64(base))
+			}
+			t.AddRow(lv, p.StaticCount, pctS)
+		}
+		t.Render(os.Stdout)
+	}
+
+	if dump {
+		for bi, bp := range plan.Blocks {
+			if len(bp.Transfers) == 0 {
+				continue
+			}
+			fmt.Printf("basic block %d (%d statements):\n", bi, len(bp.Stmts))
+			for _, tr := range bp.Transfers {
+				items := ""
+				for i, a := range tr.Items {
+					if i > 0 {
+						items += ","
+					}
+					items += a.Name
+				}
+				fmt.Printf("  transfer %-24s offset %-10v DR@%-3d SR@%-3d DN@%-3d SV@%-3d\n",
+					items, tr.Offset, tr.DRPos, tr.SRPos, tr.DNPos, tr.SVPos)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command zplrun executes a ZPL program on a simulated parallel machine
+// and reports its output, simulated execution time and communication
+// statistics.
+//
+// Usage:
+//
+//	zplrun [-machine t3d|paragon] [-lib pvm|shmem|csend|isend|hsend]
+//	       [-procs N] [-O level] [-set name=value]... file.zpl
+//	zplrun -bench swm -procs 64 -O pl -lib shmem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"commopt/internal/comm"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/programs"
+	"commopt/internal/rt"
+	"commopt/internal/zpl"
+)
+
+type configFlags map[string]float64
+
+func (c configFlags) String() string { return fmt.Sprint(map[string]float64(c)) }
+
+func (c configFlags) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", v)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	c[name] = f
+	return nil
+}
+
+func main() {
+	machName := flag.String("machine", "t3d", "simulated machine: t3d or paragon")
+	lib := flag.String("lib", "pvm", "communication library binding")
+	procs := flag.Int("procs", 64, "virtual processor count")
+	level := flag.String("O", "pl", "optimization level: baseline, rr, cc, pl, pl-maxlat")
+	bench := flag.String("bench", "", "run a bundled benchmark instead of a file")
+	cfg := configFlags{}
+	flag.Var(cfg, "set", "override a config variable, e.g. -set n=64 (repeatable)")
+	flag.Parse()
+
+	if err := run(*machName, *lib, *procs, *level, *bench, cfg, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "zplrun:", err)
+		os.Exit(1)
+	}
+}
+
+func optionsByName(name string) (comm.Options, error) {
+	switch name {
+	case "baseline":
+		return comm.Baseline(), nil
+	case "rr":
+		return comm.RR(), nil
+	case "cc":
+		return comm.CC(), nil
+	case "pl":
+		return comm.PL(), nil
+	case "pl-maxlat":
+		return comm.PLMaxLatency(), nil
+	}
+	return comm.Options{}, fmt.Errorf("unknown optimization level %q", name)
+}
+
+func run(machName, lib string, procs int, level, bench string, cfg configFlags, args []string) error {
+	var src, name string
+	switch {
+	case bench != "":
+		b, err := programs.ByName(bench)
+		if err != nil {
+			return err
+		}
+		src, name = b.Source, b.Name
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src, name = string(data), args[0]
+	default:
+		return fmt.Errorf("usage: zplrun [flags] file.zpl (or -bench name)")
+	}
+
+	ast, err := zpl.Parse(src)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	opts, err := optionsByName(level)
+	if err != nil {
+		return err
+	}
+	mach, err := machine.ByName(machName)
+	if err != nil {
+		return err
+	}
+	plan := comm.BuildPlan(prog, opts)
+	res, err := rt.Run(prog, plan, rt.Config{
+		Machine:    mach,
+		Library:    lib,
+		Procs:      procs,
+		ConfigVars: cfg,
+	})
+	if err != nil {
+		return err
+	}
+
+	if res.Output != "" {
+		fmt.Print(res.Output)
+	}
+	fmt.Printf("-- %s on %d-node %s (%s), optimization %s\n", prog.Name, procs, mach.Name, lib, opts)
+	fmt.Printf("-- execution time   %.6f s (simulated)\n", res.ExecTime.Seconds())
+	fmt.Printf("-- communications   %d static, %d dynamic (per processor)\n", plan.StaticCount, res.DynamicTransfers)
+	fmt.Printf("-- messages         %d point-to-point, %.1f KB total, %d reductions\n",
+		res.Messages, float64(res.BytesSent)/1024, res.Reductions)
+	bd := res.Breakdown
+	fmt.Printf("-- critical path    compute %.1f%%, comm overhead %.1f%%, waiting %.1f%%\n",
+		100*float64(bd.Compute)/float64(bd.Total()),
+		100*float64(bd.Comm)/float64(bd.Total()),
+		100*float64(bd.Wait)/float64(bd.Total()))
+	return nil
+}

@@ -1,0 +1,89 @@
+// Package commopt reproduces the system of Choi & Snyder, "Quantifying
+// the Effects of Communication Optimizations" (ICPP 1997): a ZPL-subset
+// compiler front end, a machine-independent communication optimizer
+// (redundant communication removal, communication combination,
+// communication pipelining) over the IRONMAN interface, and an SPMD
+// runtime that executes programs on simulated Intel Paragon and Cray T3D
+// machines with NX, PVM and SHMEM communication cost models.
+//
+// Typical use:
+//
+//	prog, err := commopt.Compile(source)
+//	plan := prog.Plan(comm.PL())
+//	res, err := prog.Run(plan, commopt.RunOptions{
+//		Machine: "t3d", Library: "pvm", Procs: 64,
+//	})
+//	fmt.Println(res.ExecTime, plan.StaticCount, res.DynamicTransfers)
+package commopt
+
+import (
+	"fmt"
+
+	"commopt/internal/comm"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/rt"
+	"commopt/internal/zpl"
+)
+
+// Program is a compiled ZPL program ready for planning and execution.
+type Program struct {
+	AST *zpl.Program
+	IR  *ir.Program
+}
+
+// Compile parses and lowers ZPL source text.
+func Compile(src string) (*Program, error) {
+	ast, err := zpl.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	low, err := ir.Lower(ast)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	return &Program{AST: ast, IR: low}, nil
+}
+
+// Plan runs the communication optimizer with the given options.
+func (p *Program) Plan(opts comm.Options) *comm.Plan {
+	return comm.BuildPlan(p.IR, opts)
+}
+
+// Inlined returns a copy of the program with every procedure call
+// expanded in place (the paper's Section 4 inlining extension), widening
+// the basic blocks the communication optimizer works over.
+func (p *Program) Inlined() *Program {
+	return &Program{AST: p.AST, IR: ir.Inline(p.IR)}
+}
+
+// RunOptions selects the simulated environment for Run.
+type RunOptions struct {
+	Machine string // "t3d" (default) or "paragon"
+	Library string // "pvm" (default), "shmem", "csend", "isend", "hsend"
+	Procs   int    // default 64
+	Configs map[string]float64
+}
+
+// Run executes the program under a plan on the simulated machine.
+func (p *Program) Run(plan *comm.Plan, opts RunOptions) (*rt.Result, error) {
+	if opts.Machine == "" {
+		opts.Machine = "t3d"
+	}
+	if opts.Library == "" {
+		opts.Library = "pvm"
+	}
+	if opts.Procs == 0 {
+		opts.Procs = 64
+	}
+	mach, err := machine.ByName(opts.Machine)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Run(p.IR, plan, rt.Config{
+		Machine:    mach,
+		Library:    opts.Library,
+		Procs:      opts.Procs,
+		ConfigVars: opts.Configs,
+	})
+}

@@ -1,0 +1,57 @@
+// Tomcatv: reproduce the paper's Table 1 for the TOMCATV benchmark — the
+// six experiments of Figure 9 (baseline, rr, cc, pl, pl with shmem, pl
+// with max latency) at a configurable problem size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"commopt"
+	"commopt/internal/experiments"
+	"commopt/internal/programs"
+	"commopt/internal/report"
+)
+
+func main() {
+	n := flag.Float64("n", 128, "grid size (n x n)")
+	iters := flag.Float64("iters", 10, "main loop iterations")
+	procs := flag.Int("procs", 64, "virtual processors")
+	flag.Parse()
+
+	bench, err := programs.ByName("tomcatv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := commopt.Compile(bench.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("tomcatv %gx%g on %d processors, %g iterations", *n, *n, *procs, *iters),
+		Headers: []string{"experiment", "static count", "dynamic count", "execution time (s)", "scaled"},
+	}
+	var baseline float64
+	for _, e := range experiments.Experiments() {
+		plan := prog.Plan(e.Options)
+		res, err := prog.Run(plan, commopt.RunOptions{
+			Library: e.Library,
+			Procs:   *procs,
+			Configs: map[string]float64{"n": *n, "iters": *iters},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := res.ExecTime.Seconds()
+		if e.Key == "baseline" {
+			baseline = secs
+		}
+		t.AddRow(e.Key, plan.StaticCount, res.DynamicTransfers,
+			fmt.Sprintf("%.6f", secs), fmt.Sprintf("%.0f%%", 100*secs/baseline))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("paper (Table 1, 128x128, 64 procs): baseline 2.49s, rr 93%, cc 76%, pl 75%, pl+shmem 81%, pl+maxlat 86%")
+}

@@ -1,0 +1,30 @@
+program laplace;
+
+-- Sample standalone program for cmd/zplc and cmd/zplrun:
+--   go run ./cmd/zplc   -counts examples/zpl/laplace.zpl
+--   go run ./cmd/zplrun -procs 16 -O pl examples/zpl/laplace.zpl
+
+config var n     : integer = 64;
+config var iters : integer = 50;
+
+region R   = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+
+direction east = [0, 1]; west = [0, -1]; north = [-1, 0]; south = [1, 0];
+
+var U, V : [R] float;
+var resid : float;
+
+procedure main();
+begin
+  [R] U := 0.0;
+  [1..1, 1..n] U := 100.0;
+  for t := 1 to iters do
+    [Int] begin
+      V := 0.25 * (U@east + U@west + U@north + U@south);
+      resid := max<< abs(V - U);
+      U := V;
+    end;
+  end;
+  writeln("laplace residual after ", iters, " sweeps: ", resid);
+end;

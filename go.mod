@@ -1,0 +1,3 @@
+module commopt
+
+go 1.23

@@ -1,0 +1,110 @@
+package comm
+
+import (
+	"fmt"
+
+	"commopt/internal/ir"
+)
+
+// CheckPlan verifies a communication plan against the data-flow semantics
+// of its program, independently of how the plan was constructed. It is
+// the optimizer's safety net: every optimization subset must produce a
+// plan in which
+//
+//   - every non-local use is covered by a transfer of the same array,
+//     offset and region whose data is still current at the use (the array
+//     is not written between the transfer's send point and the use);
+//   - calls are ordered DR <= SR <= DN and SR <= SV within the block;
+//   - no carried array is written between a transfer's send point and its
+//     source-volatile point (the data would be corrupted in flight).
+//
+// CheckPlan returns the first violation found, or nil.
+func CheckPlan(p *Plan) error {
+	for i, bp := range p.Blocks {
+		if err := checkBlock(bp); err != nil {
+			return fmt.Errorf("block %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func checkBlock(bp *BlockPlan) error {
+	stmts := bp.Stmts
+	lastDefBefore := func(a *ir.ArraySym, pos int) int {
+		for j := pos - 1; j >= 0; j-- {
+			if stmtDef(stmts[j]) == a {
+				return j
+			}
+		}
+		return -1
+	}
+
+	for _, t := range bp.Transfers {
+		if t.Hoisted {
+			// Delivered before the loop; nothing it carries may be written
+			// anywhere in the loop, which the hoister guarantees — verify
+			// the block-local part of that here.
+			for _, a := range t.Items {
+				for j := range stmts {
+					if stmtDef(stmts[j]) == a {
+						return fmt.Errorf("%v: hoisted transfer's array %s written at stmt %d", t, a.Name, j)
+					}
+				}
+			}
+			continue
+		}
+		if !(0 <= t.DRPos && t.DRPos <= t.SRPos && t.SRPos <= t.DNPos && t.DNPos <= len(stmts)) {
+			return fmt.Errorf("%v: bad call ordering DR=%d SR=%d DN=%d", t, t.DRPos, t.SRPos, t.DNPos)
+		}
+		if t.SVPos < t.SRPos || t.SVPos > len(stmts) {
+			return fmt.Errorf("%v: SV=%d outside [SR=%d, end]", t, t.SVPos, t.SRPos)
+		}
+		for _, a := range t.Items {
+			for j := t.SRPos; j < t.SVPos && j < len(stmts); j++ {
+				if stmtDef(stmts[j]) == a {
+					return fmt.Errorf("%v: array %s written at stmt %d while in flight (SR=%d, SV=%d)", t, a.Name, j, t.SRPos, t.SVPos)
+				}
+			}
+		}
+	}
+
+	// Every communicating use must be covered by a fresh transfer.
+	for i, s := range stmts {
+		reg := stmtRegion(s)
+		for _, u := range stmtUses(s) {
+			if !u.NeedsComm() {
+				continue
+			}
+			if !covered(bp, u, reg, i, lastDefBefore) {
+				return fmt.Errorf("stmt %d: use %v has no fresh covering transfer", i, u)
+			}
+		}
+	}
+	return nil
+}
+
+func covered(bp *BlockPlan, u ir.ArrayUse, reg ir.RegionExpr, useIdx int, lastDefBefore func(*ir.ArraySym, int) int) bool {
+	for _, t := range bp.Transfers {
+		if t.Offset != u.Off || !t.Carries(u.Array) || !regionsCompatible(t.Region, reg) {
+			continue
+		}
+		if t.Hoisted {
+			// Hoisted data is current as long as the array has no block-
+			// local definitions before the use (none exist loop-wide).
+			if lastDefBefore(u.Array, useIdx) == -1 {
+				return true
+			}
+			continue
+		}
+		if t.DNPos > useIdx {
+			continue // data not yet delivered
+		}
+		// Freshness: the values captured at the send point must equal the
+		// values current at the use, i.e. no intervening definition.
+		if d := lastDefBefore(u.Array, useIdx); d >= t.SRPos {
+			continue
+		}
+		return true
+	}
+	return false
+}

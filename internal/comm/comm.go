@@ -1,0 +1,594 @@
+// Package comm implements the paper's machine-independent communication
+// optimizer: message-vectorized baseline generation, redundant
+// communication removal, communication combination (with the
+// maximize-combining and maximize-latency-hiding heuristics) and
+// communication pipelining, together with IRONMAN call placement, static
+// count accounting and an independent plan validity checker.
+//
+// The optimizer's scope is a single source-level basic block: a maximal
+// straight-line run of whole-array statements. Control statements bound
+// blocks; their nested bodies are optimized recursively.
+package comm
+
+import (
+	"fmt"
+	"sort"
+
+	"commopt/internal/grid"
+	"commopt/internal/ir"
+)
+
+// Heuristic selects how communication combination trades message count
+// against latency-hiding potential (Section 2 of the paper).
+type Heuristic int
+
+// Combining heuristics.
+const (
+	// MaxCombining merges whenever legal, minimizing message count.
+	MaxCombining Heuristic = iota
+	// MaxLatencyHiding merges transfers only when the combined
+	// send-to-receive distance is no smaller than any member's own
+	// distance, so combining never reduces latency-hiding potential.
+	MaxLatencyHiding
+)
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	if h == MaxLatencyHiding {
+		return "max-latency-hiding"
+	}
+	return "max-combining"
+}
+
+// Options selects which optimizations the planner applies. The zero value
+// is the paper's baseline: naive communication generation with message
+// vectorization only.
+type Options struct {
+	RemoveRedundant bool
+	Combine         bool
+	Pipeline        bool
+	Heuristic       Heuristic
+
+	// HoistInvariant enables the cross-block extension: transfers whose
+	// data is identical on every iteration of an enclosing loop execute
+	// once in the loop's preheader (see hoist.go).
+	HoistInvariant bool
+
+	// CombineLimitBytes caps the estimated size of a combined transfer
+	// (the 512-double knee of Figure 6, as an optimizer extension). Zero
+	// disables the cap. EstimateBytes must be set for the cap to apply;
+	// it is provided by the driver, which knows config values and the
+	// mesh.
+	CombineLimitBytes int
+	EstimateBytes     func(a *ir.ArraySym, off grid.Offset) int
+}
+
+// Baseline returns message vectorization only.
+func Baseline() Options { return Options{} }
+
+// RR returns baseline plus redundant communication removal.
+func RR() Options { return Options{RemoveRedundant: true} }
+
+// CC returns RR plus communication combination.
+func CC() Options { return Options{RemoveRedundant: true, Combine: true} }
+
+// PL returns CC plus communication pipelining.
+func PL() Options {
+	return Options{RemoveRedundant: true, Combine: true, Pipeline: true}
+}
+
+// PLMaxLatency returns PL with the maximize-latency-hiding combining
+// heuristic.
+func PLMaxLatency() Options {
+	return Options{RemoveRedundant: true, Combine: true, Pipeline: true, Heuristic: MaxLatencyHiding}
+}
+
+// String summarizes enabled optimizations.
+func (o Options) String() string {
+	switch {
+	case o.Pipeline && o.Heuristic == MaxLatencyHiding:
+		return "pl/max-latency"
+	case o.Pipeline:
+		return "pl"
+	case o.Combine:
+		return "cc"
+	case o.RemoveRedundant:
+		return "rr"
+	default:
+		return "baseline"
+	}
+}
+
+// CallKind is one of the four IRONMAN calls.
+type CallKind int
+
+// IRONMAN calls (in per-position execution order).
+const (
+	DR CallKind = iota // destination ready to receive
+	SR                 // source ready for transmission
+	DN                 // transmitted data needed at destination
+	SV                 // source data about to become volatile
+)
+
+// String names the call.
+func (k CallKind) String() string {
+	switch k {
+	case DR:
+		return "DR"
+	case SR:
+		return "SR"
+	case DN:
+		return "DN"
+	case SV:
+		return "SV"
+	}
+	return "?"
+}
+
+// Transfer is a single data movement: one or more arrays (combined),
+// one offset, and positions for the four IRONMAN calls. Positions are
+// statement-boundary indices within the block: a call at position p
+// executes before the block's p'th statement; p == len(stmts) is the block
+// end.
+type Transfer struct {
+	ID     int
+	Offset grid.Offset
+	Items  []*ir.ArraySym
+	Region ir.RegionExpr // region of the first-use statement
+
+	DRPos, SRPos, DNPos, SVPos int
+	UseIdx                     int // statement index of the earliest use
+
+	// Hoisted marks a loop-invariant transfer executed in the enclosing
+	// loop's preheader instead of inside the block.
+	Hoisted bool
+}
+
+// Carries reports whether the transfer moves array a.
+func (t *Transfer) Carries(a *ir.ArraySym) bool {
+	for _, it := range t.Items {
+		if it == a {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the transfer compactly.
+func (t *Transfer) String() string {
+	names := ""
+	for i, it := range t.Items {
+		if i > 0 {
+			names += ","
+		}
+		names += it.Name
+	}
+	return fmt.Sprintf("T%d(%s@%v SR@%d DN@%d)", t.ID, names, t.Offset, t.SRPos, t.DNPos)
+}
+
+// Call is one placed IRONMAN call.
+type Call struct {
+	Kind CallKind
+	T    *Transfer
+}
+
+// BlockPlan is the optimized communication schedule for one basic block.
+type BlockPlan struct {
+	Stmts     []ir.Stmt
+	Transfers []*Transfer
+	// Calls[p] executes before Stmts[p]; Calls[len(Stmts)] at block end.
+	Calls [][]Call
+}
+
+// Plan is the communication schedule for a whole program.
+type Plan struct {
+	Program *ir.Program
+	Options Options
+	Blocks  []*BlockPlan
+	// blockByFirst keys each block by its first statement so the runtime
+	// can find it while walking the same structured bodies.
+	blockByFirst map[ir.Stmt]*BlockPlan
+	// preheader maps a loop statement to the transfers hoisted before it.
+	preheader   map[ir.Stmt][]*Transfer
+	StaticCount int
+}
+
+// BlockFor returns the plan for the basic block whose first statement is
+// first, or nil.
+func (p *Plan) BlockFor(first ir.Stmt) *BlockPlan { return p.blockByFirst[first] }
+
+// Segment is one element of a structured body: either a basic block of
+// straight-line statements or a single control statement.
+type Segment struct {
+	Block   []ir.Stmt // non-nil for a basic block
+	Control ir.Stmt   // non-nil for a control statement
+}
+
+// isStraightLine reports whether s belongs inside a basic block.
+func isStraightLine(s ir.Stmt) bool {
+	switch s.(type) {
+	case *ir.AssignArray, *ir.AssignScalar, *ir.Write:
+		return true
+	}
+	return false
+}
+
+// SplitSegments partitions a structured body into basic blocks and control
+// statements, preserving order. The runtime and the planner share this so
+// their views of block boundaries always agree.
+func SplitSegments(body []ir.Stmt) []Segment {
+	var out []Segment
+	var run []ir.Stmt
+	flush := func() {
+		if len(run) > 0 {
+			out = append(out, Segment{Block: run})
+			run = nil
+		}
+	}
+	for _, s := range body {
+		if isStraightLine(s) {
+			run = append(run, s)
+			continue
+		}
+		flush()
+		out = append(out, Segment{Control: s})
+	}
+	flush()
+	return out
+}
+
+// BuildPlan runs the optimizer over every basic block of every procedure
+// and returns the program's communication plan.
+func BuildPlan(prog *ir.Program, opts Options) *Plan {
+	p := &Plan{
+		Program:      prog,
+		Options:      opts,
+		blockByFirst: map[ir.Stmt]*BlockPlan{},
+		preheader:    map[ir.Stmt][]*Transfer{},
+	}
+	for _, proc := range prog.Procs {
+		p.planBody(proc.Body, nil)
+	}
+	if opts.HoistInvariant {
+		for _, proc := range prog.Procs {
+			p.hoistInvariant(proc.Body)
+		}
+	}
+	for _, b := range p.Blocks {
+		p.StaticCount += len(b.Transfers)
+	}
+	return p
+}
+
+// planBody plans every basic block of a structured body. killed is the
+// innermost enclosing loop's kill set (arrays it assigns anywhere), used
+// only when the hoisting extension is enabled, so combining keeps
+// loop-invariant transfers separable from loop-variant ones.
+func (p *Plan) planBody(body []ir.Stmt, killed map[*ir.ArraySym]bool) {
+	loopBody := func(b []ir.Stmt) {
+		var inner map[*ir.ArraySym]bool
+		if p.Options.HoistInvariant {
+			inner = map[*ir.ArraySym]bool{}
+			collectDefs(b, inner)
+		}
+		p.planBody(b, inner)
+	}
+	for _, seg := range SplitSegments(body) {
+		if seg.Block != nil {
+			bp := planBlock(seg.Block, p.Options, killed)
+			p.Blocks = append(p.Blocks, bp)
+			p.blockByFirst[seg.Block[0]] = bp
+			continue
+		}
+		switch s := seg.Control.(type) {
+		case *ir.If:
+			p.planBody(s.Then, killed)
+			p.planBody(s.Else, killed)
+		case *ir.Repeat:
+			loopBody(s.Body)
+		case *ir.While:
+			loopBody(s.Body)
+		case *ir.For:
+			loopBody(s.Body)
+		case *ir.Call:
+			// Callee bodies are planned once, with their own procedure.
+		default:
+			panic(fmt.Sprintf("comm: unexpected control stmt %T", s))
+		}
+	}
+}
+
+// stmtUses returns the array uses of a straight-line statement.
+func stmtUses(s ir.Stmt) []ir.ArrayUse {
+	switch s := s.(type) {
+	case *ir.AssignArray:
+		return s.Uses
+	case *ir.AssignScalar:
+		return s.Uses
+	}
+	return nil
+}
+
+// stmtDef returns the array defined by a straight-line statement, or nil.
+func stmtDef(s ir.Stmt) *ir.ArraySym {
+	if a, ok := s.(*ir.AssignArray); ok {
+		return a.LHS
+	}
+	return nil
+}
+
+// stmtRegion returns the region an array statement executes over.
+func stmtRegion(s ir.Stmt) ir.RegionExpr {
+	switch s := s.(type) {
+	case *ir.AssignArray:
+		return s.Region
+	case *ir.AssignScalar:
+		return s.Region
+	}
+	return ir.RegionExpr{}
+}
+
+// stmtFlops returns the per-element cost estimate used as the
+// latency-hiding distance weight.
+func stmtFlops(s ir.Stmt) int {
+	switch s := s.(type) {
+	case *ir.AssignArray:
+		return s.Flops
+	case *ir.AssignScalar:
+		return s.Flops
+	}
+	return 0
+}
+
+// planBlock applies the selected optimizations to one basic block.
+// killed (nil unless hoisting is enabled inside a loop) lists the arrays
+// the innermost enclosing loop assigns.
+func planBlock(stmts []ir.Stmt, opts Options, killed map[*ir.ArraySym]bool) *BlockPlan {
+	bp := &BlockPlan{Stmts: stmts}
+	// A transfer is hoist-eligible when its region is static and nothing
+	// it carries is assigned in the enclosing loop. Combining must not mix
+	// eligible and ineligible items, or the merge would pin invariant data
+	// inside the loop.
+	eligible := func(t *Transfer) bool {
+		if killed == nil || t.Region.Sym == nil {
+			return false
+		}
+		for _, a := range t.Items {
+			if killed[a] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// lastDefBefore[i] maps an array to the index of its last definition
+	// at a statement index < i (-1 if none).
+	lastDef := func(a *ir.ArraySym, before int) int {
+		for j := before - 1; j >= 0; j-- {
+			if stmtDef(stmts[j]) == a {
+				return j
+			}
+		}
+		return -1
+	}
+
+	// 1. Gather communication requirements, applying redundancy removal
+	// on the fly when enabled.
+	type key struct {
+		a   *ir.ArraySym
+		off grid.Offset
+		reg ir.RegionExpr // cached data covers this statement region only
+	}
+	cached := map[key]bool{}
+	var transfers []*Transfer
+	id := 0
+	for i, s := range stmts {
+		for _, u := range stmtUses(s) {
+			if !u.NeedsComm() {
+				continue
+			}
+			k := key{u.Array, u.Off, stmtRegion(s)}
+			if opts.RemoveRedundant && cached[k] {
+				continue
+			}
+			cached[k] = true
+			t := &Transfer{
+				ID:     id,
+				Offset: u.Off,
+				Items:  []*ir.ArraySym{u.Array},
+				Region: stmtRegion(s),
+				UseIdx: i,
+			}
+			id++
+			transfers = append(transfers, t)
+		}
+		if d := stmtDef(s); d != nil {
+			// A write invalidates every cached offset of the array.
+			for k := range cached {
+				if k.a == d {
+					delete(cached, k)
+				}
+			}
+		}
+	}
+
+	// weight measures computation between two positions, the
+	// latency-hiding "distance" of the paper, in per-element flops.
+	weight := func(from, to int) int {
+		w := 0
+		for j := from; j < to && j < len(stmts); j++ {
+			w += stmtFlops(stmts[j])
+		}
+		return w
+	}
+	// sendPoint is the earliest legal send position of a transfer: just
+	// after the latest definition of any carried array before its use.
+	sendPoint := func(t *Transfer) int {
+		sp := 0
+		for _, it := range t.Items {
+			if d := lastDef(it, t.UseIdx) + 1; d > sp {
+				sp = d
+			}
+		}
+		return sp
+	}
+
+	// 2. Communication combination.
+	if opts.Combine {
+		var groups []*Transfer
+		for _, t := range transfers {
+			merged := false
+			for _, g := range groups {
+				if g.Offset != t.Offset || !regionsCompatible(g.Region, t.Region) {
+					continue
+				}
+				if opts.HoistInvariant && eligible(g) != eligible(t) {
+					continue
+				}
+				// Legality: every value t carries must be unchanged between
+				// the group's position (its earliest use) and t's use.
+				if lastDef(t.Items[0], t.UseIdx) >= g.UseIdx {
+					continue
+				}
+				if g.Carries(t.Items[0]) {
+					// Same array, same offset, still valid at t's use: the
+					// group already delivers it (only reachable without rr).
+					merged = true
+					break
+				}
+				if opts.Heuristic == MaxLatencyHiding {
+					// "Messages are only combined until the distance between
+					// the combined send and receives is no smaller than any
+					// of the distances of the uncombined communication":
+					// merging must not shrink any member's latency-hiding
+					// window.
+					sg, st := sendPoint(g), sendPoint(t)
+					dg := weight(sg, g.UseIdx)
+					dt := weight(st, t.UseIdx)
+					dm := weight(max(sg, st), min(g.UseIdx, t.UseIdx))
+					dmax := dg
+					if dt > dmax {
+						dmax = dt
+					}
+					if dm < dmax {
+						continue
+					}
+				}
+				if opts.CombineLimitBytes > 0 && opts.EstimateBytes != nil {
+					size := opts.EstimateBytes(t.Items[0], t.Offset)
+					for _, it := range g.Items {
+						size += opts.EstimateBytes(it, g.Offset)
+					}
+					if size > opts.CombineLimitBytes {
+						continue
+					}
+				}
+				g.Items = append(g.Items, t.Items[0])
+				merged = true
+				break
+			}
+			if !merged {
+				groups = append(groups, t)
+			}
+		}
+		transfers = groups
+	}
+
+	// 3. Placement: pipelined or synchronous.
+	for _, t := range transfers {
+		if opts.Pipeline {
+			sp := sendPoint(t)
+			if sp > t.UseIdx {
+				sp = t.UseIdx
+			}
+			t.SRPos, t.DRPos, t.DNPos = sp, sp, t.UseIdx
+		} else {
+			t.SRPos, t.DRPos, t.DNPos = t.UseIdx, t.UseIdx, t.UseIdx
+		}
+		// SV: before the next write to any carried array at or after the
+		// send, or the block end.
+		sv := len(stmts)
+		for _, it := range t.Items {
+			for j := t.SRPos; j < len(stmts); j++ {
+				if stmtDef(stmts[j]) == it && j < sv {
+					sv = j
+				}
+			}
+		}
+		if sv < t.DNPos {
+			// The source must also survive until the data is consumed on
+			// our side of the SPMD call sequence; SV never precedes DN.
+			sv = t.DNPos
+		}
+		t.SVPos = sv
+	}
+
+	// Renumber and emit calls.
+	sort.SliceStable(transfers, func(i, j int) bool {
+		if transfers[i].SRPos != transfers[j].SRPos {
+			return transfers[i].SRPos < transfers[j].SRPos
+		}
+		return transfers[i].ID < transfers[j].ID
+	})
+	for i, t := range transfers {
+		t.ID = i
+	}
+	bp.Transfers = transfers
+	bp.Calls = make([][]Call, len(stmts)+1)
+	for _, k := range []CallKind{DR, SR, DN, SV} {
+		for _, t := range transfers {
+			pos := 0
+			switch k {
+			case DR:
+				pos = t.DRPos
+			case SR:
+				pos = t.SRPos
+			case DN:
+				pos = t.DNPos
+			case SV:
+				pos = t.SVPos
+			}
+			bp.Calls[pos] = append(bp.Calls[pos], Call{Kind: k, T: t})
+		}
+	}
+	// Within a position the emission order above already yields all DRs,
+	// then SRs, then DNs, then SVs — the deadlock-free order (no blocking
+	// call waits on a later call in the same global SPMD sequence).
+	for _, calls := range bp.Calls {
+		sort.SliceStable(calls, func(i, j int) bool { return calls[i].Kind < calls[j].Kind })
+	}
+	return bp
+}
+
+// regionsCompatible reports whether two statement regions are provably the
+// same index set, so their transfers may be combined: either the same
+// declared region, or literal regions from the same source scope (shared
+// bound expressions).
+func regionsCompatible(a, b ir.RegionExpr) bool {
+	if a.Sym != nil || b.Sym != nil {
+		return a.Sym == b.Sym
+	}
+	if a.RankN != b.RankN {
+		return false
+	}
+	for d := 0; d < a.RankN; d++ {
+		if a.Bounds[d][0] != b.Bounds[d][0] || a.Bounds[d][1] != b.Bounds[d][1] {
+			return false
+		}
+	}
+	return true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

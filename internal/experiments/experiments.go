@@ -1,0 +1,162 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation section: the machine and binding tables (Figures 3 and 5),
+// the exposed-overhead curves (Figure 6), the benchmark table (Figure 7),
+// the communication-count reductions (Figures 8 and 11), the scaled
+// execution times (Figures 10 and 12) and the per-benchmark result tables
+// (Tables 1-4).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"commopt/internal/comm"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/programs"
+	"commopt/internal/rt"
+	"commopt/internal/vtime"
+	"commopt/internal/zpl"
+)
+
+// Experiment is one row of Figure 9's key: an optimizer configuration
+// paired with a communication library.
+type Experiment struct {
+	Key     string
+	Label   string
+	Options comm.Options
+	Library string
+}
+
+// Experiments returns the six experiments of Figure 9 in order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{Key: "baseline", Label: "message vectorization", Options: comm.Baseline(), Library: "pvm"},
+		{Key: "rr", Label: "baseline with removing redundant communication", Options: comm.RR(), Library: "pvm"},
+		{Key: "cc", Label: "rr with combining communication", Options: comm.CC(), Library: "pvm"},
+		{Key: "pl", Label: "cc with pipelining", Options: comm.PL(), Library: "pvm"},
+		{Key: "pl with shmem", Label: "pl using shmem_put", Options: comm.PL(), Library: "shmem"},
+		{Key: "pl with max latency", Label: "pl with shmem, combining for maximum latency hiding", Options: comm.PLMaxLatency(), Library: "shmem"},
+	}
+}
+
+// ExperimentByKey returns the named experiment.
+func ExperimentByKey(key string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Key == key {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", key)
+}
+
+// Cell is one benchmark × experiment measurement (one row of the
+// appendix tables).
+type Cell struct {
+	Static   int
+	Dynamic  int
+	Time     vtime.Duration
+	Messages int
+	Bytes    int64
+}
+
+// Runner executes and caches benchmark runs on the simulated T3D.
+type Runner struct {
+	Procs int  // default 64
+	Quick bool // use the reduced calibration sizes
+
+	mu       sync.Mutex
+	programs map[string]*compiled
+	cells    map[string]Cell
+}
+
+type compiled struct {
+	bench programs.Benchmark
+	prog  *ir.Program
+	plans map[string]*comm.Plan
+}
+
+// NewRunner returns a Runner for the given processor count (64 if zero,
+// the paper's partition size).
+func NewRunner(procs int) *Runner {
+	if procs == 0 {
+		procs = 64
+	}
+	return &Runner{Procs: procs, programs: map[string]*compiled{}, cells: map[string]Cell{}}
+}
+
+func (r *Runner) compiledFor(name string) (*compiled, error) {
+	if c, ok := r.programs[name]; ok {
+		return c, nil
+	}
+	bench, err := programs.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	ast, err := zpl.Parse(bench.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	c := &compiled{bench: bench, prog: prog, plans: map[string]*comm.Plan{}}
+	r.programs[name] = c
+	return c, nil
+}
+
+// Cell runs (or recalls) one benchmark under one experiment.
+func (r *Runner) Cell(benchName, expKey string) (Cell, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cacheKey := benchName + "/" + expKey
+	if c, ok := r.cells[cacheKey]; ok {
+		return c, nil
+	}
+	exp, err := ExperimentByKey(expKey)
+	if err != nil {
+		return Cell{}, err
+	}
+	c, err := r.compiledFor(benchName)
+	if err != nil {
+		return Cell{}, err
+	}
+	optKey := exp.Options.String()
+	plan, ok := c.plans[optKey]
+	if !ok {
+		plan = comm.BuildPlan(c.prog, exp.Options)
+		c.plans[optKey] = plan
+	}
+	cfg := c.bench.PaperConfig
+	if r.Quick {
+		cfg = c.bench.CalibConfig
+	}
+	res, err := rt.Run(c.prog, plan, rt.Config{
+		Machine:    machine.T3D(),
+		Library:    exp.Library,
+		Procs:      r.Procs,
+		ConfigVars: cfg,
+	})
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s/%s: %w", benchName, expKey, err)
+	}
+	cell := Cell{
+		Static:   plan.StaticCount,
+		Dynamic:  res.DynamicTransfers,
+		Time:     res.ExecTime,
+		Messages: res.Messages,
+		Bytes:    res.BytesSent,
+	}
+	r.cells[cacheKey] = cell
+	return cell, nil
+}
+
+// BenchNames returns the suite's benchmark names in the paper's order.
+func BenchNames() []string {
+	var out []string
+	for _, b := range programs.Suite() {
+		out = append(out, b.Name)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"commopt/internal/comm"
+	"commopt/internal/machine"
+	"commopt/internal/programs"
+	"commopt/internal/report"
+	"commopt/internal/rt"
+)
+
+// Scaling runs one benchmark at a fixed problem size across a sweep of
+// partition sizes — an extension experiment the paper's framework invites
+// but does not include (its runs all use 64-node partitions). The table
+// reports simulated time, speedup over the smallest partition, and the
+// critical path's communication fraction, which shows the
+// surface-to-volume effect that makes the optimizations matter more as
+// partitions grow.
+func Scaling(benchName string, procCounts []int, quick bool) (*report.Table, error) {
+	bench, err := programs.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRunner(procCounts[0])
+	c, err := r.compiledFor(benchName)
+	if err != nil {
+		return nil, err
+	}
+	plan, ok := c.plans["pl"]
+	if !ok {
+		plan = comm.BuildPlan(c.prog, comm.PL())
+		c.plans["pl"] = plan
+	}
+	cfg := bench.PaperConfig
+	if quick {
+		cfg = bench.CalibConfig
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("scaling: %s (pl, T3D/PVM) across partition sizes", benchName),
+		Headers: []string{"processors", "mesh", "time (s)", "speedup", "comm+wait share"},
+	}
+	var base float64
+	for _, procs := range procCounts {
+		res, err := rt.Run(c.prog, plan, rt.Config{
+			Machine:    machine.T3D(),
+			Library:    "pvm",
+			Procs:      procs,
+			ConfigVars: cfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s at %d procs: %w", benchName, procs, err)
+		}
+		secs := res.ExecTime.Seconds()
+		if base == 0 {
+			base = secs
+		}
+		t.AddRow(procs, res.Mesh.String(),
+			fmt.Sprintf("%.6f", secs),
+			fmt.Sprintf("%.2fx", base/secs),
+			fmt.Sprintf("%.0f%%", 100*res.Breakdown.CommFraction()))
+	}
+	return t, nil
+}
+
+// DefaultScalingProcs is the partition sweep used by the icpp97 tool.
+var DefaultScalingProcs = []int{1, 4, 16, 64}

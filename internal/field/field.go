@@ -1,0 +1,157 @@
+// Package field implements the per-processor storage for block distributed
+// arrays: a dense local block in global coordinates surrounded by a ghost
+// (fluff) region that caches non-local values delivered by communication.
+package field
+
+import (
+	"fmt"
+
+	"commopt/internal/grid"
+)
+
+// Field is one processor's slice of a distributed array. All indexing is in
+// global coordinates; the field stores the owned block plus Ghost extra
+// planes on every side of every dimension. Values default to zero,
+// including ghost cells that are never filled (which models ZPL reads of
+// uninitialized border values at the global boundary).
+type Field struct {
+	Name  string
+	Rank  int
+	Local grid.Region // owned block, global coordinates (may be empty)
+	Ghost int         // uniform ghost width, >= 0
+
+	base   [grid.MaxRank]int // global coordinate of data index 0 per dim
+	extent [grid.MaxRank]int // allocated size per dim
+	stride [grid.MaxRank]int
+	data   []float64
+}
+
+// New allocates a field for the given owned block with the given ghost
+// width. An empty local region yields a zero-sized field whose accessors
+// must not be used.
+func New(name string, local grid.Region, ghost int) *Field {
+	if ghost < 0 {
+		panic("field: negative ghost width")
+	}
+	f := &Field{Name: name, Rank: local.Rank, Local: local, Ghost: ghost}
+	if local.Empty() {
+		return f
+	}
+	n := 1
+	for d := 0; d < grid.MaxRank; d++ {
+		g := ghost
+		if d >= local.Rank {
+			g = 0
+		}
+		f.base[d] = local.Spans[d].Lo - g
+		f.extent[d] = local.Spans[d].Len() + 2*g
+		n *= f.extent[d]
+	}
+	f.stride[2] = 1
+	f.stride[1] = f.extent[2]
+	f.stride[0] = f.extent[1] * f.extent[2]
+	f.data = make([]float64, n)
+	return f
+}
+
+// Allocated reports whether the field owns any data.
+func (f *Field) Allocated() bool { return len(f.data) > 0 }
+
+// Halo returns the full allocated region (owned block plus ghosts) in
+// global coordinates.
+func (f *Field) Halo() grid.Region {
+	out := f.Local
+	for d := 0; d < f.Rank; d++ {
+		out.Spans[d].Lo -= f.Ghost
+		out.Spans[d].Hi += f.Ghost
+	}
+	return out
+}
+
+func (f *Field) index(i, j, k int) int {
+	return (i-f.base[0])*f.stride[0] + (j-f.base[1])*f.stride[1] + (k - f.base[2])
+}
+
+// In reports whether global point (i,j,k) lies inside the allocated halo.
+func (f *Field) In(i, j, k int) bool {
+	pt := [grid.MaxRank]int{i, j, k}
+	for d := 0; d < grid.MaxRank; d++ {
+		if pt[d] < f.base[d] || pt[d] >= f.base[d]+f.extent[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the value at global point (i,j,k). Points of rank < 3 use 1
+// for the unused trailing coordinates.
+func (f *Field) At(i, j, k int) float64 {
+	if !f.In(i, j, k) {
+		panic(fmt.Sprintf("field %s: read (%d,%d,%d) outside halo %v", f.Name, i, j, k, f.Halo()))
+	}
+	return f.data[f.index(i, j, k)]
+}
+
+// Set stores v at global point (i,j,k).
+func (f *Field) Set(i, j, k int, v float64) {
+	if !f.In(i, j, k) {
+		panic(fmt.Sprintf("field %s: write (%d,%d,%d) outside halo %v", f.Name, i, j, k, f.Halo()))
+	}
+	f.data[f.index(i, j, k)] = v
+}
+
+// Fill sets every point of reg (which must lie inside the halo) to v.
+func (f *Field) Fill(reg grid.Region, v float64) {
+	ForEach(reg, func(i, j, k int) { f.Set(i, j, k, v) })
+}
+
+// ExtractRect copies the values of reg (inside the halo) into a fresh slice
+// in row-major (i, then j, then k) order.
+func (f *Field) ExtractRect(reg grid.Region) []float64 {
+	out := make([]float64, 0, reg.Size())
+	ForEach(reg, func(i, j, k int) { out = append(out, f.At(i, j, k)) })
+	return out
+}
+
+// InsertRect stores vals (row-major) into reg. len(vals) must equal
+// reg.Size().
+func (f *Field) InsertRect(reg grid.Region, vals []float64) {
+	if len(vals) != reg.Size() {
+		panic(fmt.Sprintf("field %s: insert size %d != region %v size %d", f.Name, len(vals), reg, reg.Size()))
+	}
+	n := 0
+	ForEach(reg, func(i, j, k int) { f.Set(i, j, k, vals[n]); n++ })
+}
+
+// ForEach visits every point of reg in row-major order. Regions of rank <3
+// are visited with trailing coordinates fixed at their degenerate span.
+func ForEach(reg grid.Region, fn func(i, j, k int)) {
+	if reg.Empty() {
+		return
+	}
+	for i := reg.Spans[0].Lo; i <= reg.Spans[0].Hi; i++ {
+		for j := reg.Spans[1].Lo; j <= reg.Spans[1].Hi; j++ {
+			for k := reg.Spans[2].Lo; k <= reg.Spans[2].Hi; k++ {
+				fn(i, j, k)
+			}
+		}
+	}
+}
+
+// GhostNeed returns the region of non-local points this processor must have
+// cached before evaluating a reference shifted by off over statement region
+// stmt: the shifted read set minus the owned block, clipped to the halo.
+// The result may be empty (interior processors reading a zero offset, or
+// statements whose shifted reads stay inside the block).
+func (f *Field) GhostNeed(stmt grid.Region, off grid.Offset) grid.Region {
+	if !f.Allocated() {
+		empty := grid.Span{Lo: 1, Hi: 0}
+		return grid.Region{Rank: f.Rank, Spans: [grid.MaxRank]grid.Span{empty, empty, empty}}
+	}
+	// Read set: the statement's local portion shifted by off.
+	local := stmt.Intersect(f.Local)
+	read := local.Shift(off)
+	// Clip to halo; anything outside the halo would be outside the global
+	// array too and is a program error caught at access time.
+	return read.Intersect(f.Halo())
+}

@@ -1,0 +1,134 @@
+package field
+
+import (
+	"testing"
+	"testing/quick"
+
+	"commopt/internal/grid"
+)
+
+func region2(lo1, hi1, lo2, hi2 int) grid.Region {
+	return grid.NewRegion(2, grid.Span{Lo: lo1, Hi: hi1}, grid.Span{Lo: lo2, Hi: hi2})
+}
+
+func TestNewAndHalo(t *testing.T) {
+	f := New("A", region2(5, 8, 3, 10), 1)
+	if !f.Allocated() {
+		t.Fatal("field should be allocated")
+	}
+	h := f.Halo()
+	if h.Spans[0] != (grid.Span{Lo: 4, Hi: 9}) || h.Spans[1] != (grid.Span{Lo: 2, Hi: 11}) {
+		t.Fatalf("halo = %v", h)
+	}
+	// Ghost cells read as zero before any communication.
+	if v := f.At(4, 3, 1); v != 0 {
+		t.Fatalf("uninitialized ghost = %v", v)
+	}
+}
+
+func TestEmptyField(t *testing.T) {
+	f := New("A", region2(1, 0, 1, 4), 1)
+	if f.Allocated() {
+		t.Fatal("empty local region should not allocate")
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	f := New("A", region2(1, 4, 1, 4), 1)
+	n := 0.0
+	ForEach(f.Local, func(i, j, k int) { f.Set(i, j, k, n); n++ })
+	n = 0
+	ForEach(f.Local, func(i, j, k int) {
+		if f.At(i, j, k) != n {
+			t.Fatalf("At(%d,%d,%d) = %v, want %v", i, j, k, f.At(i, j, k), n)
+		}
+		n++
+	})
+}
+
+func TestOutOfHaloPanics(t *testing.T) {
+	f := New("A", region2(1, 4, 1, 4), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic reading outside the halo")
+		}
+	}()
+	f.At(7, 1, 1)
+}
+
+// TestExtractInsertRoundTrip: extracting a rectangle and inserting it into
+// another field reproduces the values exactly, for arbitrary rectangles.
+func TestExtractInsertRoundTrip(t *testing.T) {
+	prop := func(lo1, len1, lo2, len2 uint8) bool {
+		src := New("S", region2(1, 12, 1, 12), 2)
+		v := 1.0
+		ForEach(src.Halo(), func(i, j, k int) { src.Set(i, j, k, v); v++ })
+
+		r1 := grid.Span{Lo: 1 + int(lo1%8), Hi: 0}
+		r1.Hi = r1.Lo + int(len1%4)
+		r2 := grid.Span{Lo: 1 + int(lo2%8), Hi: 0}
+		r2.Hi = r2.Lo + int(len2%4)
+		rect := grid.NewRegion(2, r1, r2)
+
+		vals := src.ExtractRect(rect)
+		dst := New("D", region2(1, 12, 1, 12), 2)
+		dst.InsertRect(rect, vals)
+		ok := true
+		ForEach(rect, func(i, j, k int) {
+			if dst.At(i, j, k) != src.At(i, j, k) {
+				ok = false
+			}
+		})
+		return ok && len(vals) == rect.Size()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFill(t *testing.T) {
+	f := New("A", region2(1, 4, 1, 4), 0)
+	f.Fill(f.Local, 3.5)
+	ForEach(f.Local, func(i, j, k int) {
+		if f.At(i, j, k) != 3.5 {
+			t.Fatalf("fill missed (%d,%d,%d)", i, j, k)
+		}
+	})
+}
+
+func TestRank3Field(t *testing.T) {
+	local := grid.NewRegion(3, grid.Span{Lo: 1, Hi: 2}, grid.Span{Lo: 1, Hi: 2}, grid.Span{Lo: 1, Hi: 8})
+	f := New("U", local, 1)
+	f.Set(1, 1, 5, 42)
+	if f.At(1, 1, 5) != 42 {
+		t.Fatal("rank-3 set/at failed")
+	}
+	// Third-dimension ghost exists.
+	if !f.In(1, 1, 0) || !f.In(2, 2, 9) {
+		t.Fatal("rank-3 ghost planes missing")
+	}
+}
+
+func TestInsertSizeMismatchPanics(t *testing.T) {
+	f := New("A", region2(1, 4, 1, 4), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	f.InsertRect(region2(1, 2, 1, 2), []float64{1})
+}
+
+func TestForEachOrderRowMajor(t *testing.T) {
+	var pts [][3]int
+	ForEach(region2(1, 2, 3, 4), func(i, j, k int) { pts = append(pts, [3]int{i, j, k}) })
+	want := [][3]int{{1, 3, 1}, {1, 4, 1}, {2, 3, 1}, {2, 4, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("order %v, want %v", pts, want)
+		}
+	}
+}

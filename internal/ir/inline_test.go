@@ -1,0 +1,83 @@
+package ir
+
+import "testing"
+
+const inlineSrc = `
+program inl;
+config var n : integer = 8;
+region R = [1..n, 1..n];
+direction east = [0, 1];
+var A, B, C, D : [R] float;
+procedure step(w : float);
+begin
+  [R] C := w * B@east;
+end;
+procedure main();
+begin
+  [R] A := B@east;    -- communicates B@east
+  step(0.5);          -- call boundary hides the redundancy...
+  [R] D := B@east;    -- ...and this re-communicates it
+  step(0.25);
+end;
+`
+
+func TestInlineExpandsCalls(t *testing.T) {
+	p := lower(t, inlineSrc)
+	inl := Inline(p)
+	if len(inl.Procs) != 1 || inl.Main != inl.Procs[0] {
+		t.Fatal("inlined program should have only main")
+	}
+	// main: A assign, (param assign + C assign) x2 interleaved with D.
+	if len(inl.Main.Body) != 6 {
+		t.Fatalf("inlined body = %d statements, want 6", len(inl.Main.Body))
+	}
+	for _, s := range inl.Main.Body {
+		if _, ok := s.(*Call); ok {
+			t.Fatal("call survived inlining")
+		}
+	}
+	// The two inlinings of step must not share statement nodes.
+	if inl.Main.Body[2] == inl.Main.Body[5] {
+		t.Fatal("inlined bodies share statement nodes")
+	}
+}
+
+func TestInlineParamAssignment(t *testing.T) {
+	p := lower(t, inlineSrc)
+	inl := Inline(p)
+	pa, ok := inl.Main.Body[1].(*AssignScalar)
+	if !ok || pa.LHS.Kind != ParamVar {
+		t.Fatalf("statement 1 = %T, want parameter assignment", inl.Main.Body[1])
+	}
+}
+
+func TestInlineNestedControl(t *testing.T) {
+	src := `
+program inl2;
+region R = [1..8, 1..8];
+var A : [R] float;
+var s : float;
+procedure inc();
+begin
+  s := s + 1.0;
+end;
+procedure main();
+begin
+  for i := 1 to 3 do
+    if s < 10.0 then inc(); end;
+  end;
+end;
+`
+	p := lower(t, src)
+	inl := Inline(p)
+	f := inl.Main.Body[0].(*For)
+	iff := f.Body[0].(*If)
+	if _, ok := iff.Then[0].(*AssignScalar); !ok {
+		t.Fatalf("nested call not inlined: %T", iff.Then[0])
+	}
+	// The original program is untouched.
+	of := p.Main.Body[0].(*For)
+	if _, ok := of.Body[0].(*If).Then[0].(*Call); !ok {
+		t.Fatal("original program mutated by inlining")
+	}
+}

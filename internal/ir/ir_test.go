@@ -1,0 +1,240 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"commopt/internal/grid"
+	"commopt/internal/zpl"
+)
+
+func lower(t *testing.T, src string) *Program {
+	t.Helper()
+	ast, err := zpl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := Lower(ast)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func lowerErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	ast, err := zpl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Lower(ast)
+	if err == nil {
+		t.Fatalf("lower succeeded, want error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+const header = `
+program t;
+config var n : integer = 8;
+region R = [1..n, 1..n];
+direction east = [0, 1]; north = [-1, 0]; se2 = [2, 2];
+var A, B : [R] float;
+var s : float;
+`
+
+func TestLowerBasics(t *testing.T) {
+	p := lower(t, header+`procedure main(); begin [R] A := B@east + s; end;`)
+	if p.Main == nil || len(p.Main.Body) != 1 {
+		t.Fatal("main body missing")
+	}
+	a := p.Main.Body[0].(*AssignArray)
+	if a.LHS.Name != "A" {
+		t.Errorf("lhs = %v", a.LHS)
+	}
+	if len(a.Uses) != 1 || a.Uses[0].Array.Name != "B" || a.Uses[0].Off != (grid.Offset{0, 1, 0}) {
+		t.Errorf("uses = %v", a.Uses)
+	}
+	if a.Flops != 2 { // one add, one store
+		t.Errorf("flops = %d", a.Flops)
+	}
+	if a.Region.Sym == nil || a.Region.Sym.Name != "R" {
+		t.Errorf("region = %v", a.Region)
+	}
+}
+
+func TestGhostWidths(t *testing.T) {
+	p := lower(t, header+`procedure main(); begin [R] A := B@east + B@se2; [R] B := A; end;`)
+	if g := p.LookupArray("B").Ghost; g != 2 {
+		t.Errorf("B ghost = %d, want 2 (from se2)", g)
+	}
+	if g := p.LookupArray("A").Ghost; g != 0 {
+		t.Errorf("A ghost = %d, want 0 (never shifted)", g)
+	}
+}
+
+func TestDistinctUsesDeduped(t *testing.T) {
+	p := lower(t, header+`procedure main(); begin [R] A := B@east + B@east * B@north; end;`)
+	a := p.Main.Body[0].(*AssignArray)
+	if len(a.Uses) != 2 {
+		t.Errorf("uses = %v, want B@east and B@north once each", a.Uses)
+	}
+}
+
+func TestReduceLowering(t *testing.T) {
+	p := lower(t, header+`procedure main(); begin [R] s := max<< abs(A@east - A); end;`)
+	st := p.Main.Body[0].(*AssignScalar)
+	if !st.HasReduce {
+		t.Fatal("HasReduce not set")
+	}
+	if len(st.Uses) != 2 {
+		t.Errorf("uses = %v", st.Uses)
+	}
+	if st.Region.Sym == nil {
+		t.Error("reduce region not captured")
+	}
+}
+
+func TestElifLowering(t *testing.T) {
+	p := lower(t, header+`procedure main(); begin
+	  if s > 1.0 then s := 1.0; elsif s > 0.5 then s := 0.5; else s := 0.0; end;
+	end;`)
+	top := p.Main.Body[0].(*If)
+	inner, ok := top.Else[0].(*If)
+	if !ok {
+		t.Fatalf("elsif did not lower to nested if: %T", top.Else[0])
+	}
+	if len(inner.Else) != 1 {
+		t.Errorf("final else missing")
+	}
+}
+
+func TestLoopVarScoping(t *testing.T) {
+	p := lower(t, header+`procedure main(); begin
+	  for i := 1 to n do s := s + i; end;
+	  for i := 1 to 2 do s := s - i; end;
+	end;`)
+	f1 := p.Main.Body[0].(*For)
+	f2 := p.Main.Body[1].(*For)
+	if f1.Var == f2.Var {
+		t.Error("loop variables should be distinct symbols")
+	}
+	if f1.Var.Kind != LoopVar {
+		t.Error("loop var kind wrong")
+	}
+}
+
+func TestProcParamsAndLocals(t *testing.T) {
+	p := lower(t, header+`
+	procedure f(x : float);
+	  var y : float;
+	  var L : [R] float;
+	begin
+	  y := x * 2.0;
+	  [R] L := A + y;
+	end;
+	procedure main(); begin f(1.0); end;`)
+	f := p.LookupProc("f")
+	if len(f.Params) != 1 || f.Params[0].Kind != ParamVar {
+		t.Fatalf("params = %v", f.Params)
+	}
+	if p.LookupArray("f.L") == nil {
+		t.Error("local array not hoisted with procedure prefix")
+	}
+	call := p.Main.Body[0].(*Call)
+	if call.Proc != f {
+		t.Error("call target wrong")
+	}
+}
+
+func TestScalarIDsDense(t *testing.T) {
+	p := lower(t, header+`procedure main(); begin s := 1.0; end;`)
+	for i, sym := range p.Scalars {
+		if sym.ID != i {
+			t.Fatalf("scalar %s ID %d at index %d", sym.Name, sym.ID, i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	lowerErr(t, header+`procedure main(); begin A := B; end;`, "region")
+	lowerErr(t, header+`procedure main(); begin s := A; end;`, "scalar context")
+	lowerErr(t, header+`procedure main(); begin [R] s := A@east + 1.0; end;`, "scalar context")
+	lowerErr(t, header+`procedure main(); begin [R] A := C@east; end;`, "unknown array")
+	lowerErr(t, header+`procedure main(); begin [R] A := B@nowhere; end;`, "unknown direction")
+	lowerErr(t, header+`procedure main(); begin [Q] A := B; end;`, `unknown region "Q"`)
+	lowerErr(t, header+`procedure main(); begin if A then s := 1.0; end; end;`, "scalar")
+	lowerErr(t, header+`procedure main(); begin n := 2.0; end;`, "constant")
+	lowerErr(t, header+`procedure main(); begin undeclared := 1.0; end;`, "undeclared")
+	lowerErr(t, header+`procedure main(); begin f(); end;`, "unknown procedure")
+	lowerErr(t, `program t; procedure main(); begin end; procedure main(); begin end;`, "duplicate procedure")
+	lowerErr(t, `program t; procedure notmain(); begin end;`, "no procedure main")
+	lowerErr(t, header+`procedure main(); begin writeln(A); end;`, "scalar")
+	lowerErr(t, header+`procedure loop(); begin loop(); end; procedure main(); begin loop(); end;`, "recursive")
+	lowerErr(t, header+`procedure main(); begin [1..n] A := B; end;`, "rank")
+}
+
+func TestMutualRecursionRejected(t *testing.T) {
+	lowerErr(t, `program t;
+	procedure a(); begin b(); end;
+	procedure b(); begin a(); end;
+	procedure main(); begin a(); end;`, "recursive")
+}
+
+func TestDirectionConstFolding(t *testing.T) {
+	p := lower(t, `program t;
+	constant two : integer = 2;
+	region R = [1..8, 1..8];
+	direction far = [two * 2, -two];
+	var A, B : [R] float;
+	procedure main(); begin [R] A := B@far; end;`)
+	if off := p.Dirs[0].Off; off != (grid.Offset{4, -2, 0}) {
+		t.Errorf("direction far = %v", off)
+	}
+	if g := p.LookupArray("B").Ghost; g != 4 {
+		t.Errorf("ghost = %d, want 4", g)
+	}
+}
+
+func TestConfigNotAllowedInDirection(t *testing.T) {
+	lowerErr(t, `program t;
+	config var k : integer = 1;
+	region R = [1..8, 1..8];
+	direction d = [k, 0];
+	procedure main(); begin end;`, "constant integer")
+}
+
+func TestIndexRefs(t *testing.T) {
+	p := lower(t, header+`procedure main(); begin [R] A := Index1 * 10.0 + Index2; end;`)
+	a := p.Main.Body[0].(*AssignArray)
+	if len(a.Uses) != 0 {
+		t.Errorf("Index refs should not be array uses: %v", a.Uses)
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	cases := []struct {
+		op       ReduceOp
+		id       float64
+		a, b, cb float64
+	}{
+		{ReduceSum, 0, 2, 3, 5},
+		{ReduceProd, 1, 2, 3, 6},
+		{ReduceMax, negInf, 2, 3, 3},
+		{ReduceMin, posInf, 2, 3, 2},
+	}
+	for _, c := range cases {
+		if c.op.Identity() != c.id {
+			t.Errorf("%v identity = %v", c.op, c.op.Identity())
+		}
+		if got := c.op.Combine(c.a, c.b); got != c.cb {
+			t.Errorf("%v combine = %v, want %v", c.op, got, c.cb)
+		}
+	}
+}
+
+func TestIntrinsicArityChecked(t *testing.T) {
+	lowerErr(t, header+`procedure main(); begin s := sqrt(1.0, 2.0); end;`, "argument")
+}

@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"testing"
+
+	"commopt/internal/vtime"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"paragon", "t3d"} {
+		m, err := ByName(name)
+		if err != nil || m == nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("sp2"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestLibLookup(t *testing.T) {
+	m := T3D()
+	if _, err := m.Lib("pvm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Lib("nx"); err == nil {
+		t.Fatal("unknown library accepted")
+	}
+}
+
+// TestKneeNear512Doubles: the paper's central machine characterization —
+// combining stops paying at about 512 doubles (4 KB) on both machines.
+func TestKneeNear512Doubles(t *testing.T) {
+	check := func(name string, l *Lib) {
+		knee := l.KneeBytes()
+		if knee < 2048 || knee > 8192 {
+			t.Errorf("%s: knee at %d bytes, want about 4096 (512 doubles)", name, knee)
+		}
+	}
+	for n, l := range T3D().Libs {
+		check("t3d/"+n, l)
+	}
+	check("paragon/csend", Paragon().Libs["csend"])
+	check("paragon/isend", Paragon().Libs["isend"])
+}
+
+// TestSHMEMUnderPVM: SHMEM's fixed exposed overhead is about 10% below
+// PVM's (Section 3.2).
+func TestSHMEMUnderPVM(t *testing.T) {
+	libs := T3D().Libs
+	pvm, shmem := libs["pvm"].FixedOverhead(), libs["shmem"].FixedOverhead()
+	ratio := float64(shmem) / float64(pvm)
+	if ratio < 0.85 || ratio > 0.95 {
+		t.Errorf("shmem/pvm fixed overhead = %.3f, want ~0.90", ratio)
+	}
+}
+
+// TestParagonPrimitiveOrdering: isend/irecv does not reduce the exposed
+// overhead of csend/crecv, and hsend/hrecv increases it.
+func TestParagonPrimitiveOrdering(t *testing.T) {
+	libs := Paragon().Libs
+	cs, is, hs := libs["csend"].FixedOverhead(), libs["isend"].FixedOverhead(), libs["hsend"].FixedOverhead()
+	if is < cs {
+		t.Errorf("isend fixed %v below csend %v", is, cs)
+	}
+	if hs <= cs || hs <= is {
+		t.Errorf("hsend fixed %v not the heaviest (csend %v, isend %v)", hs, cs, is)
+	}
+}
+
+func TestSHMEMSemanticsFlags(t *testing.T) {
+	shmem := T3D().Libs["shmem"]
+	if !shmem.Rendezvous || !shmem.UnconditionalSynch {
+		t.Error("shmem must be a rendezvous binding with unconditional synch")
+	}
+	pvm := T3D().Libs["pvm"]
+	if pvm.Rendezvous || pvm.UnconditionalSynch {
+		t.Error("pvm must not rendezvous")
+	}
+}
+
+func TestPerByteDur(t *testing.T) {
+	if PerByteDur(2.5, 1000) != vtime.Duration(2500) {
+		t.Errorf("PerByteDur = %v", PerByteDur(2.5, 1000))
+	}
+	if PerByteDur(0, 123456) != 0 {
+		t.Error("zero rate should cost nothing")
+	}
+}
+
+func TestClockRates(t *testing.T) {
+	if Paragon().ClockMHz != 50 || T3D().ClockMHz != 150 {
+		t.Error("clock rates do not match Figure 3")
+	}
+	if Paragon().TimerGranularity != 100 || T3D().TimerGranularity != 150 {
+		t.Error("timer granularities do not match Figure 3")
+	}
+}

@@ -1,0 +1,72 @@
+package programs_test
+
+import (
+	"testing"
+
+	"commopt"
+	"commopt/internal/comm"
+	"commopt/internal/programs"
+)
+
+// TestParagonPrimitives: the whole-program experiments the paper ran on
+// the Paragon before abandoning it (Section 3.2) — all three NX bindings
+// execute the suite correctly, and the asynchronous primitives show
+// "little performance improvement or, in most cases, performance
+// degradation" relative to csend/crecv.
+func TestParagonPrimitives(t *testing.T) {
+	for _, b := range programs.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := commopt.Compile(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := prog.Plan(comm.PL())
+			ref, err := prog.Run(plan, commopt.RunOptions{
+				Machine: "paragon", Library: "csend", Procs: 1, Configs: b.TestConfig,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			times := map[string]float64{}
+			for _, lib := range []string{"csend", "isend", "hsend"} {
+				res, err := prog.Run(plan, commopt.RunOptions{
+					Machine: "paragon", Library: lib, Procs: 16, Configs: b.TestConfig,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", lib, err)
+				}
+				times[lib] = res.ExecTime.Seconds()
+				for _, a := range prog.IR.Arrays {
+					if d := res.MaxAbsDiff(ref, a.Name); d > 1e-9 {
+						t.Errorf("%s: array %s differs from serial by %g", lib, a.Name, d)
+					}
+				}
+			}
+			// "Little performance improvement or, in most cases,
+			// performance degradation": isend may not beat csend by more
+			// than a few percent.
+			if times["isend"] < times["csend"]*0.95 {
+				t.Errorf("isend (%.6f) notably beat csend (%.6f); the paper found no improvement", times["isend"], times["csend"])
+			}
+			if times["hsend"] <= times["csend"] {
+				t.Errorf("hsend (%.6f) not slower than csend (%.6f)", times["hsend"], times["csend"])
+			}
+		})
+	}
+}
+
+// TestSyntheticDeterminism: the microbenchmark is a pure function of its
+// inputs.
+func TestSyntheticDeterminism(t *testing.T) {
+	lib := mustT3DLib(t, "pvm")
+	a := programs.SyntheticOverhead(lib, 256, 5000)
+	b := programs.SyntheticOverhead(lib, 256, 5000)
+	if a != b {
+		t.Fatalf("synthetic overhead not deterministic: %v vs %v", a, b)
+	}
+	if programs.SyntheticOverhead(lib, 512, 100) <= programs.SyntheticOverhead(lib, 1, 100) {
+		t.Fatal("overhead not increasing with size")
+	}
+}

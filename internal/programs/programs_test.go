@@ -1,0 +1,95 @@
+package programs_test
+
+import (
+	"math"
+	"testing"
+
+	"commopt"
+	"commopt/internal/comm"
+	"commopt/internal/machine"
+	"commopt/internal/programs"
+)
+
+// TestSuiteCompiles checks that all four benchmarks parse, lower and plan
+// under every optimization level with nonzero communication.
+func TestSuiteCompiles(t *testing.T) {
+	for _, b := range programs.Suite() {
+		prog, err := commopt.Compile(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		prev := 1 << 30
+		for _, opts := range []comm.Options{comm.Baseline(), comm.RR(), comm.CC(), comm.PL()} {
+			plan := prog.Plan(opts)
+			if plan.StaticCount == 0 {
+				t.Fatalf("%s/%v: no transfers", b.Name, opts)
+			}
+			if plan.StaticCount > prev {
+				t.Errorf("%s/%v: static count %d grew from %d", b.Name, opts, plan.StaticCount, prev)
+			}
+			prev = plan.StaticCount
+			t.Logf("%s/%-8v static=%d", b.Name, opts, plan.StaticCount)
+		}
+		// Max-latency-hiding sits between rr and cc.
+		ml := prog.Plan(comm.PLMaxLatency())
+		rr := prog.Plan(comm.RR())
+		cc := prog.Plan(comm.CC())
+		if ml.StaticCount > rr.StaticCount || ml.StaticCount < cc.StaticCount {
+			t.Errorf("%s: max-latency static %d outside [cc %d, rr %d]", b.Name, ml.StaticCount, cc.StaticCount, rr.StaticCount)
+		}
+	}
+}
+
+// TestParallelMatchesSerial validates that every benchmark produces the
+// same arrays on 16 processors as on 1, under every optimization level and
+// both T3D libraries — the runtime moves real data, so any planning or
+// exchange bug shows up as a numeric difference.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, b := range programs.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := commopt.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			base := prog.Plan(comm.Baseline())
+			ref, err := prog.Run(base, commopt.RunOptions{Procs: 1, Configs: b.TestConfig})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			arrays := arrayNames(prog)
+			for _, opts := range []comm.Options{comm.Baseline(), comm.RR(), comm.CC(), comm.PL(), comm.PLMaxLatency()} {
+				plan := prog.Plan(opts)
+				for _, lib := range []string{"pvm", "shmem"} {
+					res, err := prog.Run(plan, commopt.RunOptions{Library: lib, Procs: 16, Configs: b.TestConfig})
+					if err != nil {
+						t.Fatalf("%v/%s: %v", opts, lib, err)
+					}
+					for _, name := range arrays {
+						if d := res.MaxAbsDiff(ref, name); d > 1e-9 || math.IsNaN(d) {
+							t.Errorf("%v/%s: array %s differs from serial by %g", opts, lib, name, d)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func arrayNames(p *commopt.Program) []string {
+	var out []string
+	for _, a := range p.IR.Arrays {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+func mustT3DLib(t *testing.T, name string) *machine.Lib {
+	t.Helper()
+	lib, err := machine.T3D().Lib(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}

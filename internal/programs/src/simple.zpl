@@ -1,0 +1,135 @@
+program simple;
+
+-- SIMPLE: Lagrangian hydrodynamics on a logically rectangular mesh
+-- (the Livermore SIMPLE benchmark). Each time step runs an equation of
+-- state, a nodal predictor (pressure/viscosity gradients, velocity and
+-- coordinate updates), a zonal corrector (density, work, energy), a short
+-- heat-conduction relaxation, and boundary maintenance. All communication
+-- sits in the main body of the time step, so pipelining has room to hide
+-- latency: the compute-heavy EOS statements are scheduled before the
+-- statements that consume neighbor values, exactly the structure that
+-- makes SIMPLE the paper's best case for pl and for SHMEM.
+
+config var n     : integer = 256;
+config var iters : integer = 20;
+
+constant gamma : float = 1.4;
+constant q0    : float = 0.75;
+constant dtc   : float = 0.0004;
+constant hk    : float = 0.02;
+
+region G   = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+
+direction east  = [0, 1];
+direction west  = [0, -1];
+direction north = [-1, 0];
+direction south = [1, 0];
+direction ne    = [-1, 1];
+direction nw    = [-1, -1];
+direction se    = [1, 1];
+direction sw    = [1, -1];
+
+var XN, YN         : [G] float; -- node coordinates
+var U, V, UH, VH   : [G] float; -- node velocities (current and half-step)
+var RHO, E, P, Q   : [G] float; -- zone density, energy, pressure, viscosity
+var CS, T, K       : [G] float; -- sound speed, temperature, conductivity
+var AJ, M, W, F    : [G] float; -- zone volume, mass, work, heat flux
+var GX, GY, DIV    : [G] float; -- gradients and velocity divergence
+var etot, mtot, qmax, tshift : float;
+
+-- Mesh and state initialization. The zone-geometry statements reread the
+-- same shifted node coordinates repeatedly: the setup-code redundancy
+-- the paper attributes most of rr's static wins to.
+procedure init();
+begin
+  [G] XN  := Index2 * 1.0;
+  [G] YN  := Index1 * 1.0;
+  [G] U   := 0.0;
+  [G] V   := 0.0;
+  [G] RHO := 1.0 + 0.2 * exp(-0.002 * ((Index1 - 0.5 * n) * (Index1 - 0.5 * n)
+                                     + (Index2 - 0.5 * n) * (Index2 - 0.5 * n)));
+  [G] E   := 2.5 + 0.5 * sin(Index1 * 0.03) * sin(Index2 * 0.03);
+  [G] P   := (gamma - 1.0) * RHO * E;
+  [G] Q   := 0.0;
+  [G] T   := 0.4 * E;
+  [Int] begin
+    AJ := 0.5 * ((XN@east - XN) * (YN@south - YN) - (XN@south - XN) * (YN@east - YN))
+        + 0.5 * ((XN@se - XN@east) * (YN@se - YN@south)
+               - (XN@se - XN@south) * (YN@se - YN@east));
+    M  := RHO * AJ;
+    W  := 0.25 * (AJ + abs(XN@east - XN) + abs(YN@south - YN));
+    K  := hk * (T@east + T@west + T@south + T@north - 4.0 * T);
+    F  := K * (T@east - T) + 0.5 * K * (XN@east - XN);
+    GX := 0.5 * (XN@east - XN@west);
+    GY := 0.5 * (YN@south - YN@north);
+    DIV := GX + GY - (XN@east - XN@west) * 0.5;
+  end;
+  [Int] mtot := +<< M;
+  [Int] etot := +<< (M * E);
+end;
+
+procedure main();
+begin
+  init();
+  for it := 1 to iters do
+    -- Nodal phase: equation of state first (local, compute heavy), then
+    -- gradients and velocity updates that consume neighbor values.
+    [Int] begin
+      CS  := sqrt(gamma * P / RHO) + 0.01 * sqrt(abs(E));
+      T   := 0.4 * E + 0.004 * CS * CS;
+      K   := hk * (CS + sqrt(abs(T)));
+      GX  := 0.5 * (P@east - P@west + Q@east - Q@west);
+      GY  := 0.5 * (P@south - P@north + Q@south - Q@north);
+      UH  := U - dtc * GX / (0.25 * (RHO + RHO@east + RHO@west + RHO@nw));
+      VH  := V - dtc * GY / (0.25 * (RHO + RHO@south + RHO@north + RHO@ne));
+      U   := UH;
+      V   := VH;
+      XN  := XN + dtc * U;
+      YN  := YN + dtc * V;
+      DIV := 0.5 * (UH@east - UH@west) + 0.5 * (VH@south - VH@north);
+      Q   := q0 * RHO * DIV * DIV
+           + 0.05 * abs(P@east - P@west) + 0.05 * abs(P@south - P@north)
+           + 0.01 * abs(Q@east - Q@west);
+      qmax := max<< Q;
+    end;
+
+    -- Zonal phase: geometry, density and energy update, then the work and
+    -- heat-flux statements that read the nodal phase's results through
+    -- shifted references late in the block.
+    [Int] begin
+      AJ  := AJ * (1.0 + dtc * DIV);
+      RHO := M / AJ;
+      E   := E - dtc * (P + Q) * DIV / RHO;
+      W   := 0.5 * (UH@east + UH@west) * GX + 0.5 * (VH@south + VH@north) * GY;
+      E   := E + dtc * W;
+      F   := K * (T@east + T@west + T@south + T@north - 4.0 * T)
+           + 0.01 * K * (T@ne + T@nw + T@se + T@sw - 4.0 * T);
+      E   := E + dtc * F + 0.004 * sqrt(abs(E));
+      P   := (gamma - 1.0) * RHO * E + 0.002 * (CS@east + CS@west)
+           + 0.001 * (UH@east - UH@west) + 0.001 * (VH@south - VH@north);
+      etot := +<< (M * E);
+    end;
+
+    -- Heat conduction relaxation: a short diffusion sub-iteration.
+    for relax := 1 to 2 do
+      [Int] begin
+        F := K * (T@east + T@west + T@south + T@north - 4.0 * T);
+        T := T + dtc * F + 0.002 * (K@east - K@west + K@south - K@north)
+           + 0.001 * abs(T@east - T@west) + 0.001 * abs(T@south - T@north);
+      end;
+    end;
+
+    -- Boundary maintenance: reflecting walls on all four edges.
+    [1..1, 2..n-1]   RHO := RHO@south;
+    [n..n, 2..n-1]   RHO := RHO@north;
+    [2..n-1, 1..1]   RHO := RHO@east;
+    [2..n-1, n..n]   RHO := RHO@west;
+    [1..1, 2..n-1]   E := E@south;
+    [n..n, 2..n-1]   E := E@north;
+    [2..n-1, 1..1]   E := E@east;
+    [2..n-1, n..n]   E := E@west;
+  end;
+  [Int] tshift := +<< T;
+  writeln("simple etot=", etot, " mtot=", mtot, " qmax=", qmax, " t=", tshift);
+end;

@@ -1,0 +1,137 @@
+program sp;
+
+-- SP: scalar pentadiagonal CFD kernel patterned on the NAS SP application
+-- benchmark: an approximately factored ADI scheme over a 3D grid. Each
+-- iteration computes right-hand sides with second-difference stencils and
+-- fourth-difference dissipation in all three directions, then performs
+-- line solves swept along x, then y, then z. The grid's first two
+-- dimensions are distributed over the processor mesh, so x- and y-sweeps
+-- serialize across processor rows/columns (wavefronts, penalized by the
+-- prototype SHMEM binding) while the z-sweep is processor-local and
+-- generates no communication at all.
+
+config var n     : integer = 16;
+config var nz    : integer = 16;
+config var iters : integer = 60;
+
+constant dx : float = 0.2;
+constant dy : float = 0.2;
+constant dz : float = 0.2;
+constant dc : float = 0.05;
+
+region R3 = [1..n, 1..n, 1..nz];
+region I3 = [2..n-1, 2..n-1, 2..nz-1];
+
+direction xp = [1, 0, 0];
+direction xm = [-1, 0, 0];
+direction yp = [0, 1, 0];
+direction ym = [0, -1, 0];
+direction zp = [0, 0, 1];
+direction zm = [0, 0, -1];
+
+var U1, U2, U3, U4, U5      : [R3] float; -- conserved variables
+var R1, R2, R3V, R4, R5     : [R3] float; -- right-hand sides
+var US, VS, WS, RHOI, SPEED : [R3] float; -- auxiliary flow quantities
+var LHS                     : [R3] float; -- line-solve diagonal
+var rnorm, unorm            : float;
+
+procedure init();
+begin
+  [R3] U1 := 1.0 + 0.02 * sin(0.3 * Index1) * cos(0.3 * Index2) * sin(0.2 * Index3);
+  [R3] U2 := 0.1 * sin(0.25 * Index2) * cos(0.2 * Index3);
+  [R3] U3 := 0.1 * cos(0.25 * Index1) * sin(0.2 * Index3);
+  [R3] U4 := 0.05 * sin(0.2 * Index1 + 0.2 * Index2);
+  [R3] U5 := 2.0 + 0.1 * cos(0.3 * Index1) * cos(0.3 * Index2) * cos(0.2 * Index3);
+  [R3] LHS := 1.0;
+  -- Flow field diagnostics: the same shifted values feed several
+  -- statements (setup redundancy removed by rr).
+  [I3] begin
+    RHOI  := 1.0 / U1;
+    US    := U2 * RHOI;
+    VS    := U3 * RHOI;
+    WS    := U4 * RHOI;
+    SPEED := sqrt(abs(U5 * RHOI)) + 0.1 * abs(U1@xp - U1@xm) + 0.1 * abs(U1@yp - U1@ym);
+    R1    := 0.05 * (U1@xp - U1@xm) + 0.05 * (U1@yp - U1@ym) + 0.05 * (U1@zp - U1@zm);
+    unorm := +<< (U1@xp + U1@xm + U1@yp + U1@ym + 2.0 * U1);
+  end;
+end;
+
+procedure main();
+begin
+  init();
+  for it := 1 to iters do
+    -- RHS computation: central differences in x and y (communication) and
+    -- z (local), with auxiliary quantities computed first so the sends
+    -- have computation to hide behind.
+    [I3] begin
+      RHOI  := 1.0 / U1;
+      US    := U2 * RHOI;
+      VS    := U3 * RHOI;
+      WS    := U4 * RHOI;
+      SPEED := sqrt(abs(1.4 * (U5 - 0.5 * (U2 * US + U3 * VS + U4 * WS)) * RHOI));
+      R1  := dx * (U1@xp - 2.0 * U1 + U1@xm) + dy * (U1@yp - 2.0 * U1 + U1@ym)
+           + dz * (U1@zp - 2.0 * U1 + U1@zm);
+      R2  := dx * (U2@xp - 2.0 * U2 + U2@xm) + dy * (U2@yp - 2.0 * U2 + U2@ym)
+           + dz * (U2@zp - 2.0 * U2 + U2@zm) - dc * (US@xp - US@xm);
+      R3V := dx * (U3@xp - 2.0 * U3 + U3@xm) + dy * (U3@yp - 2.0 * U3 + U3@ym)
+           + dz * (U3@zp - 2.0 * U3 + U3@zm) - dc * (VS@yp - VS@ym);
+      R4  := dx * (U4@xp - 2.0 * U4 + U4@xm) + dy * (U4@yp - 2.0 * U4 + U4@ym)
+           + dz * (U4@zp - 2.0 * U4 + U4@zm) - dc * (WS@xp - WS@ym);
+      R5  := dx * (U5@xp - 2.0 * U5 + U5@xm) + dy * (U5@yp - 2.0 * U5 + U5@ym)
+           + dz * (U5@zp - 2.0 * U5 + U5@zm)
+           - dc * (SPEED * (U1@xp - U1@xm) + SPEED * (U1@yp - U1@ym));
+      rnorm := +<< (R1 * R1 + R5 * R5);
+    end;
+
+    -- x-sweep: forward elimination along the first (distributed)
+    -- dimension. The factored system couples the components: each
+    -- right-hand side also reads the component updated just before it, so
+    -- those references can never combine with the plane's main transfer.
+    for i := 2 to n - 1 do
+      [i..i, 2..n-1, 2..nz-1] begin
+        R1  := R1 - 0.25 * R1@xm * LHS@xm;
+        LHS := 1.0 / (2.0 + dc - 0.25 * LHS@xm);
+        R2  := R2 - 0.3 * R2@xm * LHS - 0.05 * R1@xm;
+        R3V := R3V - 0.3 * R3V@xm * LHS - 0.05 * R2@xm;
+        R4  := R4 - 0.3 * R4@xm * LHS - 0.05 * R3V@xm;
+        R5  := R5 - 0.3 * R5@xm * LHS - 0.05 * R4@xm;
+      end;
+    end;
+
+    -- y-sweep: along the second (distributed) dimension, with the same
+    -- component coupling.
+    for j := 2 to n - 1 do
+      [2..n-1, j..j, 2..nz-1] begin
+        R1  := R1 - 0.25 * R1@ym * LHS@ym;
+        LHS := 1.0 / (2.0 + dc - 0.25 * LHS@ym);
+        R2  := R2 - 0.3 * R2@ym * LHS - 0.05 * R1@ym;
+        R3V := R3V - 0.3 * R3V@ym * LHS - 0.05 * R2@ym;
+        R4  := R4 - 0.3 * R4@ym * LHS - 0.05 * R3V@ym;
+        R5  := R5 - 0.3 * R5@ym * LHS - 0.05 * R4@ym;
+      end;
+    end;
+
+    -- z-sweep: along the third, processor-local dimension — the same
+    -- recurrence, but no communication is ever generated.
+    for k := 2 to nz - 1 do
+      [2..n-1, 2..n-1, k..k] begin
+        R1  := R1 - 0.25 * R1@zm * LHS@zm;
+        LHS := 1.0 / (2.0 + dc - 0.25 * LHS@zm);
+        R2  := R2 - 0.3 * R2@zm * LHS - 0.05 * R1@zm;
+        R3V := R3V - 0.3 * R3V@zm * LHS - 0.05 * R2@zm;
+        R4  := R4 - 0.3 * R4@zm * LHS - 0.05 * R3V@zm;
+        R5  := R5 - 0.3 * R5@zm * LHS - 0.05 * R4@zm;
+      end;
+    end;
+
+    -- Solution update.
+    [I3] begin
+      U1 := U1 + 0.1 * R1;
+      U2 := U2 + 0.1 * R2;
+      U3 := U3 + 0.1 * R3V;
+      U4 := U4 + 0.1 * R4;
+      U5 := U5 + 0.1 * R5;
+    end;
+  end;
+  writeln("sp rnorm=", rnorm, " unorm=", unorm);
+end;

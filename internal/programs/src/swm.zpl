@@ -1,0 +1,84 @@
+program swm;
+
+-- SWM: weather prediction with the shallow water equations on a staggered
+-- grid (the SPEC 093.swm256 computation). One time step computes the mass
+-- fluxes, potential vorticity and height field, then updates the
+-- velocities and pressure, then applies Robert-Asselin time smoothing.
+-- Every statement lives in one basic block: the arrays feeding the update
+-- statements are defined just before their shifted uses, so there is
+-- little room to expose communication latency — pipelining gains are
+-- small with PVM, while SHMEM's cheaper put still helps (Section 3.3.2).
+
+config var n     : integer = 512;
+config var iters : integer = 60;
+
+constant fsdx   : float = 4.0 / 0.25;
+constant fsdy   : float = 4.0 / 0.25;
+constant tdts8  : float = 0.0005;
+constant tdtsdx : float = 0.004;
+constant tdtsdy : float = 0.004;
+constant alpha  : float = 0.001;
+
+region R   = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+
+direction east  = [0, 1];
+direction west  = [0, -1];
+direction north = [-1, 0];
+direction south = [1, 0];
+direction se    = [1, 1];
+direction ne    = [-1, 1];
+direction nw    = [-1, -1];
+
+var U, V, P          : [R] float;
+var UNEW, VNEW, PNEW : [R] float;
+var UOLD, VOLD, POLD : [R] float;
+var CU, CV, Z, H     : [R] float;
+var pcheck, ucheck   : float;
+
+procedure init();
+begin
+  [R] P := 5000.0 + 250.0 * sin(Index1 * 0.05) * cos(Index2 * 0.05);
+  [R] U := 8.0 * sin(Index2 * 0.04);
+  [R] V := -6.0 * cos(Index1 * 0.04);
+  [R] UOLD := U;
+  [R] VOLD := V;
+  [R] POLD := P;
+  -- Initial flux diagnostics: the shifted pressure values are read again
+  -- right after being communicated (setup-code redundancy).
+  [Int] begin
+    CU := 0.5 * (P + P@west) * U;
+    CV := 0.5 * (P + P@north) * V;
+    pcheck := +<< (P@west + P@north + 2.0 * P);
+    ucheck := +<< (CU + CV);
+  end;
+end;
+
+procedure main();
+begin
+  init();
+  for it := 1 to iters do
+    [Int] begin
+      CU := 0.5 * (P + P@west) * U;
+      CV := 0.5 * (P + P@north) * V;
+      Z  := (fsdx * (V - V@west) - fsdy * (U - U@north))
+            / (P + P@west + P@north + P@nw);
+      H  := P + 0.25 * (U + U@east) * (U + U@east)
+              + 0.25 * (V + V@south) * (V + V@south);
+      UNEW := UOLD + tdts8 * (Z + Z@south) * (CV + CV@south + CV@se + CV@east)
+                   - tdtsdx * (H@east - H);
+      VNEW := VOLD - tdts8 * (Z + Z@east) * (CU + CU@east + CU@ne + CU@north)
+                   - tdtsdy * (H@south - H);
+      PNEW := POLD - tdtsdx * (CU@east - CU) - tdtsdy * (CV@south - CV);
+      UOLD := U + alpha * (UNEW - 2.0 * U + UOLD);
+      VOLD := V + alpha * (VNEW - 2.0 * V + VOLD);
+      POLD := P + alpha * (PNEW - 2.0 * P + POLD);
+      U := UNEW;
+      V := VNEW;
+      P := PNEW;
+    end;
+  end;
+  [Int] pcheck := +<< P;
+  [Int] ucheck := +<< (U * U + V * V);
+  writeln("swm pcheck=", pcheck, " ucheck=", ucheck);
+end;

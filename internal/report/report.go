@@ -1,0 +1,132 @@
+// Package report renders experiment results as aligned text tables and
+// series, the forms the paper's figures and tables take.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  (%s)\n", t.Note)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			pad := widths[i] - len(c)
+			// Right-align numeric-looking cells, left-align the rest.
+			if isNumeric(c) {
+				fmt.Fprintf(w, "  %s%s", strings.Repeat(" ", pad), c)
+			} else {
+				fmt.Fprintf(w, "  %s%s", c, strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	total := 2 * len(t.Headers)
+	for _, wd := range widths {
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	digit := false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digit = true
+		case r == '.' && !dot:
+			dot = true
+		case (r == '-' || r == '+') && i == 0:
+		case r == '%' && i == len(s)-1:
+		default:
+			return false
+		}
+	}
+	return digit
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Series is a set of named curves over a shared x axis (a figure).
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Names  []string
+	Y      [][]float64 // Y[curve][point]
+}
+
+// Render writes the series as a column-aligned table plus a coarse ASCII
+// plot of each curve.
+func (s *Series) Render(w io.Writer) {
+	t := Table{Title: s.Title, Headers: append([]string{s.XLabel}, s.Names...)}
+	for i, x := range s.X {
+		cells := []any{fmt.Sprintf("%g", x)}
+		for c := range s.Names {
+			cells = append(cells, fmt.Sprintf("%.2f", s.Y[c][i]))
+		}
+		t.AddRow(cells...)
+	}
+	fmt.Fprintf(w, "  [y: %s]\n", s.YLabel)
+	t.Render(w)
+}
+
+// String renders the series to a string.
+func (s *Series) String() string {
+	var b strings.Builder
+	s.Render(&b)
+	return b.String()
+}

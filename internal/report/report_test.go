@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Note:    "a note",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", 12)
+	tb.AddRow("beta", 3.14159)
+	out := tb.String()
+	for _, want := range []string{"demo", "(a note)", "name", "alpha", "12", "3.14159"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, note, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Title: "t", Headers: []string{"col", "n"}}
+	tb.AddRow("x", 1)
+	tb.AddRow("longer", 100)
+	out := tb.String()
+	// Numeric cells right-align under their header.
+	if !strings.Contains(out, "  1\n") && !strings.Contains(out, "  1") {
+		t.Errorf("numbers not right aligned:\n%s", out)
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	yes := []string{"1", "3.14", "-2", "+7", "85%", "100"}
+	no := []string{"", "abc", "1.2.3", "1a", "%"}
+	for _, s := range yes {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range no {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := &Series{
+		Title: "curves", XLabel: "size", YLabel: "us",
+		X:     []float64{1, 2},
+		Names: []string{"a", "b"},
+		Y:     [][]float64{{1.5, 2.5}, {3, 4}},
+	}
+	out := s.String()
+	for _, want := range []string{"curves", "size", "us", "1.50", "4.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package rt
+
+import (
+	"fmt"
+
+	"commopt/internal/comm"
+	"commopt/internal/grid"
+	"commopt/internal/machine"
+	"commopt/internal/vtime"
+)
+
+// dataMsg is one point-to-point message: the ghost rectangles of every
+// array carried by a transfer between one processor pair. tag identifies
+// the transfer within its basic block: with pipelining, two transfers
+// between the same pair may be received in a different order than they
+// were sent (their DN positions need not preserve SR order), so the
+// receiver demultiplexes by tag rather than assuming FIFO.
+type dataMsg struct {
+	tag     int
+	avail   vtime.Time // earliest time the data is present at the destination
+	bytes   int
+	rects   []grid.Region
+	payload [][]float64
+}
+
+// pairRect describes the rectangles a transfer moves between this
+// processor and one peer. rects[n] belongs to the transfer's n'th item.
+type pairRect struct {
+	peer  int
+	rects []grid.Region
+	bytes int
+}
+
+// xferState is the per-execution geometry of one transfer, computed at the
+// transfer's first IRONMAN call and discarded at SV.
+type xferState struct {
+	reg   grid.Region
+	sends []pairRect
+	recvs []pairRect
+}
+
+// neighborDirs enumerates the mesh displacements a transfer with offset
+// off exchanges data with, in a fixed deterministic order: the row
+// component, the column component, then the diagonal.
+func neighborDirs(off grid.Offset) [][2]int {
+	sgn := func(x int) int {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		}
+		return 0
+	}
+	r, c := sgn(off[0]), sgn(off[1])
+	var out [][2]int
+	if r != 0 {
+		out = append(out, [2]int{r, 0})
+	}
+	if c != 0 {
+		out = append(out, [2]int{0, c})
+	}
+	if r != 0 && c != 0 {
+		out = append(out, [2]int{r, c})
+	}
+	return out
+}
+
+// geometry computes the send and receive rectangles of transfer t over
+// statement region reg for this processor. Both sides of every pair
+// compute identical rectangles from replicated state, so message contents
+// never need negotiation.
+func (p *proc) geometry(t *comm.Transfer, reg grid.Region) *xferState {
+	w := p.w
+	st := &xferState{reg: reg}
+	iterMe := w.localRegion(reg, p.row, p.col)
+	for _, d := range neighborDirs(t.Offset) {
+		// Receive side: data I need from the neighbor at displacement d.
+		if src, ok := w.mesh.Neighbor(p.rank, d[0], d[1]); ok {
+			srcRow, srcCol := w.mesh.Coord(src)
+			pr := pairRect{peer: src, rects: make([]grid.Region, len(t.Items))}
+			for n, a := range t.Items {
+				owned := w.localRegion(w.regionVals[a.Region.ID], srcRow, srcCol)
+				rect := iterMe.Shift(t.Offset).Intersect(owned)
+				pr.rects[n] = rect
+				if !rect.Empty() {
+					pr.bytes += rect.Size() * 8
+				}
+			}
+			st.recvs = append(st.recvs, pr)
+		}
+		// Send side: data the neighbor at displacement -d needs from me.
+		if dst, ok := w.mesh.Neighbor(p.rank, -d[0], -d[1]); ok {
+			dstRow, dstCol := w.mesh.Coord(dst)
+			iterDst := w.localRegion(reg, dstRow, dstCol)
+			pr := pairRect{peer: dst, rects: make([]grid.Region, len(t.Items))}
+			for n, a := range t.Items {
+				owned := w.localRegion(w.regionVals[a.Region.ID], p.row, p.col)
+				rect := iterDst.Shift(t.Offset).Intersect(owned)
+				pr.rects[n] = rect
+				if !rect.Empty() {
+					pr.bytes += rect.Size() * 8
+				}
+			}
+			st.sends = append(st.sends, pr)
+		}
+	}
+	return st
+}
+
+// state returns (creating on first touch) the transfer's per-execution
+// state.
+func (p *proc) state(t *comm.Transfer) *xferState {
+	if st, ok := p.xfers[t]; ok {
+		return st
+	}
+	st := p.geometry(t, p.evalRegion(t.Region))
+	p.xfers[t] = st
+	return st
+}
+
+// execCall performs one IRONMAN call under the current library binding.
+func (p *proc) execCall(c comm.Call) {
+	lib := p.w.lib
+	st := p.state(c.T)
+	switch c.Kind {
+	case comm.DR:
+		p.execDR(st, lib)
+	case comm.SR:
+		p.execSR(c.T, st, lib)
+	case comm.DN:
+		p.execDN(c.T, st, lib)
+	case comm.SV:
+		p.execSV(st, lib)
+		delete(p.xfers, c.T)
+	}
+}
+
+// active reports whether a pair participates under the library's
+// semantics: message-passing bindings skip empty transfers entirely, while
+// the prototype SHMEM binding synchronizes unconditionally.
+func active(lib *machine.Lib, pr pairRect) bool {
+	return pr.bytes > 0 || lib.UnconditionalSynch
+}
+
+func (p *proc) execDR(st *xferState, lib *machine.Lib) {
+	if lib.Rendezvous {
+		// Destination-ready: notify each source that our buffer may be
+		// written (the SHMEM "synch" of Figure 5).
+		for _, pr := range st.recvs {
+			if !active(lib, pr) {
+				continue
+			}
+			if pr.bytes > 0 {
+				p.chargeComm(lib.DRCost)
+			} else {
+				p.chargeComm(lib.SynchEmptyCost)
+			}
+			select {
+			case p.w.procs[pr.peer].readyFrom[p.rank] <- p.clock:
+			case <-p.w.abort:
+				panic(errAborted)
+			}
+		}
+		return
+	}
+	// Message passing: DR posts a receive (irecv/hprobe) or is a no-op.
+	for _, pr := range st.recvs {
+		if pr.bytes > 0 {
+			p.chargeComm(lib.DRCost)
+		}
+	}
+}
+
+func (p *proc) execSR(t *comm.Transfer, st *xferState, lib *machine.Lib) {
+	p.dynTransfers++ // one communication call site executed
+	for _, pr := range st.sends {
+		if !active(lib, pr) {
+			continue
+		}
+		if lib.Rendezvous {
+			// Wait for the destination's ready notification before
+			// putting; this couples the two clocks.
+			var tok vtime.Time
+			select {
+			case tok = <-p.readyFrom[pr.peer]:
+			case <-p.w.abort:
+				panic(errAborted)
+			}
+			p.waitUntil(tok)
+		}
+		if pr.bytes > 0 {
+			p.chargeComm(lib.SRCost + machine.PerByteDur(lib.SRPerByte, pr.bytes))
+		} else {
+			p.chargeComm(lib.SynchEmptyCost)
+		}
+		p.send(t, pr, lib)
+	}
+}
+
+// send captures the pair's rectangles now (the source may overwrite them
+// after SV) and enqueues the message.
+func (p *proc) send(t *comm.Transfer, pr pairRect, lib *machine.Lib) {
+	m := dataMsg{
+		tag:     t.ID,
+		bytes:   pr.bytes,
+		rects:   pr.rects,
+		payload: make([][]float64, len(pr.rects)),
+		avail:   p.clock.Add(lib.Latency + machine.PerByteDur(lib.WirePerByte, pr.bytes)),
+	}
+	for n, rect := range pr.rects {
+		if rect.Empty() {
+			continue
+		}
+		m.payload[n] = p.fields[t.Items[n].ID].ExtractRect(rect)
+	}
+	if pr.bytes > 0 {
+		p.messages++
+		p.bytesSent += int64(pr.bytes)
+	}
+	select {
+	case p.w.procs[pr.peer].in[p.rank] <- m:
+	case <-p.w.abort:
+		panic(errAborted)
+	}
+}
+
+func (p *proc) execDN(t *comm.Transfer, st *xferState, lib *machine.Lib) {
+	for _, pr := range st.recvs {
+		if !active(lib, pr) {
+			continue
+		}
+		m := p.recvTagged(pr.peer, t.ID)
+		if m.bytes != pr.bytes {
+			panic(fmt.Sprintf("rt: message size mismatch from %d: got %d want %d bytes", pr.peer, m.bytes, pr.bytes))
+		}
+		p.waitUntil(m.avail)
+		if pr.bytes > 0 {
+			p.chargeComm(lib.DNCost + machine.PerByteDur(lib.DNPerByte, pr.bytes))
+		} else {
+			p.chargeComm(lib.SynchEmptyCost)
+		}
+		for n, rect := range m.rects {
+			if rect.Empty() {
+				continue
+			}
+			p.fields[t.Items[n].ID].InsertRect(rect, m.payload[n])
+		}
+	}
+}
+
+// recvTagged returns the next message from src for the given transfer
+// tag, stashing any messages for other transfers that arrive first.
+// Within one (pair, tag) stream order is preserved, so iterations of the
+// same transfer always match up.
+func (p *proc) recvTagged(src, tag int) dataMsg {
+	if q := p.pending[src][tag]; len(q) > 0 {
+		m := q[0]
+		p.pending[src][tag] = q[1:]
+		return m
+	}
+	for {
+		var m dataMsg
+		select {
+		case m = <-p.in[src]:
+		case <-p.w.abort:
+			panic(errAborted)
+		}
+		if m.tag == tag {
+			return m
+		}
+		if p.pending[src] == nil {
+			p.pending[src] = map[int][]dataMsg{}
+		}
+		p.pending[src][m.tag] = append(p.pending[src][m.tag], m)
+	}
+}
+
+func (p *proc) execSV(st *xferState, lib *machine.Lib) {
+	if lib.Rendezvous {
+		return // puts complete at SR; SV compiles to a no-op
+	}
+	for _, pr := range st.sends {
+		if pr.bytes > 0 {
+			p.chargeComm(lib.SVCost)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"commopt/internal/ir"
+	"commopt/internal/zpl"
+)
+
+// evalFn evaluates an expression at global index point (i, j, k).
+type evalFn func(i, j, k int) float64
+
+// compile translates an IR expression into a closure tree, cached per
+// processor. Reductions never appear here; they are handled at statement
+// level (evalWithReduce).
+func (p *proc) compile(e ir.Expr) evalFn {
+	if f, ok := p.fnCache[e]; ok {
+		return f
+	}
+	f := p.compile1(e)
+	p.fnCache[e] = f
+	return f
+}
+
+func (p *proc) compile1(e ir.Expr) evalFn {
+	switch e := e.(type) {
+	case *ir.Const:
+		v := e.Val
+		return func(i, j, k int) float64 { return v }
+
+	case *ir.ScalarRef:
+		id := e.Sym.ID
+		sc := p.scalars
+		return func(i, j, k int) float64 { return sc[id] }
+
+	case *ir.ArrayRef:
+		f := p.fields[e.Array.ID]
+		o0, o1, o2 := e.Off[0], e.Off[1], e.Off[2]
+		if o0 == 0 && o1 == 0 && o2 == 0 {
+			return func(i, j, k int) float64 { return f.At(i, j, k) }
+		}
+		return func(i, j, k int) float64 { return f.At(i+o0, j+o1, k+o2) }
+
+	case *ir.IndexRef:
+		switch e.Dim {
+		case 1:
+			return func(i, j, k int) float64 { return float64(i) }
+		case 2:
+			return func(i, j, k int) float64 { return float64(j) }
+		default:
+			return func(i, j, k int) float64 { return float64(k) }
+		}
+
+	case *ir.Unary:
+		x := p.compile(e.X)
+		if e.Op == zpl.MINUS {
+			return func(i, j, k int) float64 { return -x(i, j, k) }
+		}
+		return func(i, j, k int) float64 { return boolVal(x(i, j, k) == 0) }
+
+	case *ir.Binary:
+		x := p.compile(e.X)
+		y := p.compile(e.Y)
+		switch e.Op {
+		case zpl.PLUS:
+			return func(i, j, k int) float64 { return x(i, j, k) + y(i, j, k) }
+		case zpl.MINUS:
+			return func(i, j, k int) float64 { return x(i, j, k) - y(i, j, k) }
+		case zpl.STAR:
+			return func(i, j, k int) float64 { return x(i, j, k) * y(i, j, k) }
+		case zpl.SLASH:
+			return func(i, j, k int) float64 { return x(i, j, k) / y(i, j, k) }
+		default:
+			op := e.Op
+			return func(i, j, k int) float64 { return evalBinary(op, x(i, j, k), y(i, j, k)) }
+		}
+
+	case *ir.Intrinsic:
+		args := make([]evalFn, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = p.compile(a)
+		}
+		switch e.Fn {
+		case ir.FnAbs:
+			x := args[0]
+			return func(i, j, k int) float64 { return math.Abs(x(i, j, k)) }
+		case ir.FnSqrt:
+			x := args[0]
+			return func(i, j, k int) float64 { return math.Sqrt(x(i, j, k)) }
+		case ir.FnMax:
+			x, y := args[0], args[1]
+			return func(i, j, k int) float64 { return math.Max(x(i, j, k), y(i, j, k)) }
+		case ir.FnMin:
+			x, y := args[0], args[1]
+			return func(i, j, k int) float64 { return math.Min(x(i, j, k), y(i, j, k)) }
+		default:
+			fn := e.Fn
+			return func(i, j, k int) float64 {
+				vals := make([]float64, len(args))
+				for n, a := range args {
+					vals[n] = a(i, j, k)
+				}
+				return evalIntrinsic(fn, vals)
+			}
+		}
+
+	case *ir.Reduce:
+		panic("rt: reduction expression outside a scalar assignment")
+	}
+	panic(fmt.Sprintf("rt: cannot compile %T", e))
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalUnary(op zpl.Kind, v float64) float64 {
+	if op == zpl.MINUS {
+		return -v
+	}
+	return boolVal(v == 0) // not
+}
+
+func evalBinary(op zpl.Kind, x, y float64) float64 {
+	switch op {
+	case zpl.PLUS:
+		return x + y
+	case zpl.MINUS:
+		return x - y
+	case zpl.STAR:
+		return x * y
+	case zpl.SLASH:
+		return x / y
+	case zpl.PERCENT:
+		return math.Mod(x, y)
+	case zpl.EQ:
+		return boolVal(x == y)
+	case zpl.NE:
+		return boolVal(x != y)
+	case zpl.LT:
+		return boolVal(x < y)
+	case zpl.LE:
+		return boolVal(x <= y)
+	case zpl.GT:
+		return boolVal(x > y)
+	case zpl.GE:
+		return boolVal(x >= y)
+	case zpl.KWAND:
+		return boolVal(x != 0 && y != 0)
+	case zpl.KWOR:
+		return boolVal(x != 0 || y != 0)
+	}
+	panic(fmt.Sprintf("rt: unknown binary operator %v", op))
+}
+
+func evalIntrinsic(fn ir.IntrinsicFn, args []float64) float64 {
+	switch fn {
+	case ir.FnAbs:
+		return math.Abs(args[0])
+	case ir.FnSqrt:
+		return math.Sqrt(args[0])
+	case ir.FnExp:
+		return math.Exp(args[0])
+	case ir.FnLog:
+		return math.Log(args[0])
+	case ir.FnSin:
+		return math.Sin(args[0])
+	case ir.FnCos:
+		return math.Cos(args[0])
+	case ir.FnMin:
+		return math.Min(args[0], args[1])
+	case ir.FnMax:
+		return math.Max(args[0], args[1])
+	case ir.FnPow:
+		return math.Pow(args[0], args[1])
+	case ir.FnSign:
+		if args[0] > 0 {
+			return 1
+		} else if args[0] < 0 {
+			return -1
+		}
+		return 0
+	case ir.FnFloor:
+		return math.Floor(args[0])
+	}
+	panic(fmt.Sprintf("rt: unknown intrinsic %d", fn))
+}

@@ -1,0 +1,416 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"commopt/internal/comm"
+	"commopt/internal/field"
+	"commopt/internal/grid"
+	"commopt/internal/ir"
+	"commopt/internal/vtime"
+)
+
+// chanCap bounds in-flight messages per directed processor pair. The plan
+// guarantees every send is matched by a receive in the same basic-block
+// execution, so the depth is bounded by a block's transfer count.
+const chanCap = 4096
+
+// proc is one virtual processor: its data, clock and plumbing.
+type proc struct {
+	w         *world
+	rank      int
+	row, col  int
+	clock     vtime.Time
+	fields    []*field.Field // by ArraySym.ID
+	scalars   []float64      // by ScalarSym.ID
+	fnCache   map[ir.Expr]evalFn
+	in        []chan dataMsg      // in[src]: data from processor src
+	readyFrom []chan vtime.Time   // readyFrom[dst]: rendezvous tokens posted by dst
+	pending   []map[int][]dataMsg // pending[src][tag]: stashed out-of-order messages
+
+	dynTransfers int
+	messages     int
+	bytesSent    int64
+	reductions   int
+	redSeq       int
+
+	computeT vtime.Duration // statement execution (incl. control overhead)
+	commT    vtime.Duration // communication software overhead
+	waitT    vtime.Duration // blocked on data, tokens or reductions
+
+	output strings.Builder
+	xfers  map[*comm.Transfer]*xferState
+
+	rng uint64 // deterministic per-processor jitter stream
+}
+
+// jittered scales a compute cost by the machine's jitter factor, drawn
+// from a per-processor xorshift stream so runs are exactly reproducible.
+func (p *proc) jittered(d vtime.Duration) vtime.Duration {
+	j := p.w.mach.Jitter
+	if j == 0 || d == 0 {
+		return d
+	}
+	p.rng ^= p.rng << 13
+	p.rng ^= p.rng >> 7
+	p.rng ^= p.rng << 17
+	u := float64(p.rng>>11) / float64(1<<53) // [0, 1)
+	return vtime.Duration(float64(d) * (1 + j*(2*u-1)))
+}
+
+func newProc(w *world, rank int) *proc {
+	r, c := w.mesh.Coord(rank)
+	p := &proc{
+		w: w, rank: rank, row: r, col: c,
+		fnCache:   map[ir.Expr]evalFn{},
+		in:        make([]chan dataMsg, w.mesh.Size()),
+		readyFrom: make([]chan vtime.Time, w.mesh.Size()),
+		pending:   make([]map[int][]dataMsg, w.mesh.Size()),
+		xfers:     map[*comm.Transfer]*xferState{},
+		rng:       uint64(rank)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+	}
+	for i := range p.in {
+		p.in[i] = make(chan dataMsg, chanCap)
+		p.readyFrom[i] = make(chan vtime.Time, chanCap)
+	}
+	return p
+}
+
+// allocate builds this processor's fields and scalar store.
+func (p *proc) allocate() {
+	w := p.w
+	p.scalars = make([]float64, len(w.prog.Scalars))
+	copy(p.scalars, w.configVals)
+	p.fields = make([]*field.Field, len(w.prog.Arrays))
+	for _, a := range w.prog.Arrays {
+		local := w.localRegion(w.regionVals[a.Region.ID], p.row, p.col)
+		p.fields[a.ID] = field.New(a.Name, local, a.Ghost)
+	}
+}
+
+// charge advances the virtual clock for compute-side work.
+func (p *proc) charge(d vtime.Duration) {
+	p.clock = p.clock.Add(d)
+	p.computeT += d
+}
+
+// chargeComm advances the virtual clock for communication software
+// overhead (the "exposed" cost of the paper).
+func (p *proc) chargeComm(d vtime.Duration) {
+	p.clock = p.clock.Add(d)
+	p.commT += d
+}
+
+// waitUntil advances the clock to at least t, accounting the jump as wait
+// time (blocking on data, rendezvous tokens or reduction results).
+func (p *proc) waitUntil(t vtime.Time) {
+	if t > p.clock {
+		p.waitT += vtime.Duration(t - p.clock)
+		p.clock = t
+	}
+}
+
+// body interprets a structured statement list, alternating between
+// planned basic blocks and control statements.
+func (p *proc) body(stmts []ir.Stmt) {
+	for _, seg := range comm.SplitSegments(stmts) {
+		if seg.Block != nil {
+			p.block(seg.Block)
+			continue
+		}
+		p.control(seg.Control)
+	}
+}
+
+// loopOverhead is the control cost charged per loop iteration or branch.
+const loopOverhead = 200 * vtime.Nanosecond
+
+func (p *proc) control(s ir.Stmt) {
+	switch s := s.(type) {
+	case *ir.If:
+		p.charge(loopOverhead)
+		if p.evalScalar(s.Cond) != 0 {
+			p.body(s.Then)
+		} else {
+			p.body(s.Else)
+		}
+	case *ir.Repeat:
+		p.execPreheader(s)
+		for {
+			p.charge(loopOverhead)
+			p.body(s.Body)
+			if p.evalScalar(s.Until) != 0 {
+				return
+			}
+		}
+	case *ir.While:
+		p.execPreheader(s)
+		for {
+			p.charge(loopOverhead)
+			if p.evalScalar(s.Cond) == 0 {
+				return
+			}
+			p.body(s.Body)
+		}
+	case *ir.For:
+		p.execPreheader(s)
+		lo := p.evalInt(s.Lo, "for bound")
+		hi := p.evalInt(s.Hi, "for bound")
+		step := 1
+		if s.Down {
+			step = -1 // downto: iterate from lo down to hi
+		}
+		for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
+			p.charge(loopOverhead)
+			p.scalars[s.Var.ID] = float64(v)
+			p.body(s.Body)
+		}
+	case *ir.Call:
+		p.charge(loopOverhead)
+		for i, a := range s.Args {
+			p.scalars[s.Proc.Params[i].ID] = p.evalScalar(a)
+		}
+		p.body(s.Proc.Body)
+	default:
+		panic(fmt.Sprintf("rt: unexpected control stmt %T", s))
+	}
+}
+
+// execPreheader performs the loop's hoisted transfers (the cross-block
+// extension): each runs its full synchronous IRONMAN sequence once,
+// immediately before the loop is entered.
+func (p *proc) execPreheader(loop ir.Stmt) {
+	for _, t := range p.w.plan.Preheader(loop) {
+		for _, kind := range []comm.CallKind{comm.DR, comm.SR, comm.DN, comm.SV} {
+			p.execCall(comm.Call{Kind: kind, T: t})
+		}
+	}
+}
+
+// block interprets one planned basic block: IRONMAN calls interleave with
+// the statements at their scheduled positions.
+func (p *proc) block(stmts []ir.Stmt) {
+	bp := p.w.plan.BlockFor(stmts[0])
+	if bp == nil {
+		panic("rt: basic block missing from plan")
+	}
+	for pos := 0; pos <= len(stmts); pos++ {
+		for _, c := range bp.Calls[pos] {
+			p.execCall(c)
+		}
+		if pos < len(stmts) {
+			p.stmt(stmts[pos])
+		}
+	}
+	if len(p.xfers) != 0 {
+		panic("rt: transfers left open at block end")
+	}
+}
+
+func (p *proc) stmt(s ir.Stmt) {
+	switch s := s.(type) {
+	case *ir.AssignArray:
+		p.assignArray(s)
+	case *ir.AssignScalar:
+		p.assignScalar(s)
+	case *ir.Write:
+		p.write(s)
+	default:
+		panic(fmt.Sprintf("rt: unexpected straight-line stmt %T", s))
+	}
+}
+
+func (p *proc) assignArray(s *ir.AssignArray) {
+	w := p.w
+	f := p.fields[s.LHS.ID]
+	reg := p.evalRegion(s.Region)
+	local := w.localRegion(reg, p.row, p.col)
+	if f.Allocated() {
+		local = local.Intersect(f.Local)
+	}
+	size := 0
+	if !local.Empty() {
+		size = local.Size()
+		fn := p.compile(s.RHS)
+		// Whole-array semantics: the RHS is fully evaluated before the
+		// store, so statements like A := A@east are well defined.
+		tmp := make([]float64, 0, size)
+		field.ForEach(local, func(i, j, k int) { tmp = append(tmp, fn(i, j, k)) })
+		n := 0
+		field.ForEach(local, func(i, j, k int) { f.Set(i, j, k, tmp[n]); n++ })
+	}
+	p.charge(w.mach.StmtOverhead + p.jittered(vtime.Duration(int64(size)*int64(s.Flops))*w.mach.OpTime))
+}
+
+func (p *proc) assignScalar(s *ir.AssignScalar) {
+	if !s.HasReduce {
+		p.scalars[s.LHS.ID] = p.evalScalar(s.RHS)
+		p.charge(vtime.Duration(s.Flops) * p.w.mach.OpTime)
+		return
+	}
+	reg := p.evalRegion(s.Region)
+	local := p.w.localRegion(reg, p.row, p.col)
+	size := local.Size()
+	p.scalars[s.LHS.ID] = p.evalWithReduce(s.RHS, local)
+	p.charge(p.w.mach.StmtOverhead + p.jittered(vtime.Duration(int64(size)*int64(s.Flops))*p.w.mach.OpTime))
+}
+
+// evalWithReduce evaluates a scalar RHS that may contain reductions; each
+// reduction computes a local partial over this processor's part of the
+// statement region and then performs a global combine.
+func (p *proc) evalWithReduce(e ir.Expr, local grid.Region) float64 {
+	switch e := e.(type) {
+	case *ir.Reduce:
+		fn := p.compile(e.X)
+		acc := e.Op.Identity()
+		field.ForEach(local, func(i, j, k int) { acc = e.Op.Combine(acc, fn(i, j, k)) })
+		return p.allreduce(e.Op, acc)
+	case *ir.Unary:
+		return evalUnary(e.Op, p.evalWithReduce(e.X, local))
+	case *ir.Binary:
+		x := p.evalWithReduce(e.X, local)
+		y := p.evalWithReduce(e.Y, local)
+		return evalBinary(e.Op, x, y)
+	case *ir.Intrinsic:
+		args := make([]float64, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = p.evalWithReduce(a, local)
+		}
+		return evalIntrinsic(e.Fn, args)
+	default:
+		return p.evalScalar(e)
+	}
+}
+
+// allreduce combines one value across all processors, deterministically
+// folding in rank order, and charges a logarithmic tree cost.
+func (p *proc) allreduce(op ir.ReduceOp, val float64) float64 {
+	w := p.w
+	seq := p.redSeq
+	p.redSeq++
+	p.reductions++
+	p.sendRed(redMsg{seq: seq, rank: p.rank, val: val, t: p.clock})
+
+	if p.rank == 0 {
+		n := w.mesh.Size()
+		vals := make([]float64, n)
+		var tmax vtime.Time
+		for i := 0; i < n; i++ {
+			m := p.recvRed()
+			if m.seq != seq {
+				panic(fmt.Sprintf("rt: reduction sequence mismatch: got %d want %d", m.seq, seq))
+			}
+			vals[m.rank] = m.val
+			if m.t > tmax {
+				tmax = m.t
+			}
+		}
+		acc := op.Identity()
+		for _, v := range vals {
+			acc = op.Combine(acc, v)
+		}
+		for rank := 0; rank < n; rank++ {
+			out := redMsg{seq: seq, val: acc, t: tmax}
+			select {
+			case w.bcast[rank] <- out:
+			case <-w.abort:
+				panic(errAborted)
+			}
+		}
+	}
+
+	var m redMsg
+	select {
+	case m = <-w.bcast[p.rank]:
+	case <-w.abort:
+		panic(errAborted)
+	}
+	if m.seq != seq {
+		panic(fmt.Sprintf("rt: reduction broadcast mismatch: got %d want %d", m.seq, seq))
+	}
+	levels := bits(w.mesh.Size())
+	// One tree level costs a full transfer handshake; for rendezvous
+	// libraries that includes the destination-ready synchronization.
+	hop := w.lib.DRCost + w.lib.SRCost + w.lib.DNCost + 2*w.lib.Latency
+	p.waitUntil(m.t)
+	p.chargeComm(vtime.Duration(levels) * hop)
+	return m.val
+}
+
+func bits(p int) int {
+	n := 0
+	for v := p - 1; v > 0; v >>= 1 {
+		n++
+	}
+	if n == 0 {
+		n = 1 // a lone processor still pays one synchronization hop
+	}
+	return n
+}
+
+func (p *proc) sendRed(m redMsg) {
+	select {
+	case p.w.collect <- m:
+	case <-p.w.abort:
+		panic(errAborted)
+	}
+}
+
+func (p *proc) recvRed() redMsg {
+	select {
+	case m := <-p.w.collect:
+		return m
+	case <-p.w.abort:
+		panic(errAborted)
+	}
+}
+
+func (p *proc) write(s *ir.Write) {
+	p.charge(loopOverhead)
+	if p.rank != 0 {
+		// Arguments still evaluate (replicated scalar computation).
+		for _, a := range s.Args {
+			if _, ok := a.(*ir.Str); !ok {
+				p.evalScalar(a)
+			}
+		}
+		return
+	}
+	for _, a := range s.Args {
+		if str, ok := a.(*ir.Str); ok {
+			p.output.WriteString(str.Val)
+			continue
+		}
+		fmt.Fprintf(&p.output, "%g", p.evalScalar(a))
+	}
+	p.output.WriteByte('\n')
+}
+
+// evalScalar evaluates a pure scalar expression (no array references).
+func (p *proc) evalScalar(e ir.Expr) float64 { return p.compile(e)(0, 0, 0) }
+
+func (p *proc) evalInt(e ir.Expr, what string) int {
+	v := p.evalScalar(e)
+	if v != math.Trunc(v) {
+		panic(fmt.Sprintf("rt: %s is not an integer: %g", what, v))
+	}
+	return int(v)
+}
+
+// evalRegion resolves a statement's region reference to global index
+// spans.
+func (p *proc) evalRegion(re ir.RegionExpr) grid.Region {
+	if re.Sym != nil {
+		return p.w.regionVals[re.Sym.ID]
+	}
+	spans := make([]grid.Span, re.RankN)
+	for d := 0; d < re.RankN; d++ {
+		spans[d] = grid.Span{
+			Lo: p.evalInt(re.Bounds[d][0], "region bound"),
+			Hi: p.evalInt(re.Bounds[d][1], "region bound"),
+		}
+	}
+	return grid.NewRegion(re.RankN, spans...)
+}

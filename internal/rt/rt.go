@@ -1,0 +1,434 @@
+// Package rt executes a lowered ZPL program SPMD-style on a simulated
+// parallel machine: one goroutine per virtual processor, block distributed
+// arrays with ghost regions, real data exchanged over channels, and a
+// deterministic virtual clock per processor driven by the machine's cost
+// model. Communication follows the IRONMAN call schedule computed by the
+// optimizer (package comm).
+//
+// Data movement is real — the parallel result of a program is validated
+// against its single-processor run — while time is simulated, so measured
+// "execution times" are reproducible on any host.
+package rt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"commopt/internal/comm"
+	"commopt/internal/field"
+	"commopt/internal/grid"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/vtime"
+)
+
+// Config selects the execution environment for one run.
+type Config struct {
+	Machine *machine.Machine
+	Library string // key into Machine.Libs, e.g. "pvm", "shmem", "csend"
+	Procs   int    // number of virtual processors
+
+	// ConfigVars overrides the program's config variable defaults by name.
+	ConfigVars map[string]float64
+}
+
+// Result reports one run's outcome.
+type Result struct {
+	ExecTime vtime.Duration // latest processor finish time
+
+	// DynamicTransfers counts transfer call sites executed on processor 0
+	// (the paper's dynamic communication count). Messages and BytesSent
+	// count actual point-to-point messages across all processors.
+	DynamicTransfers int
+	Messages         int
+	BytesSent        int64
+	Reductions       int
+
+	Output string // rank-0 writeln output
+
+	// Breakdown attributes the critical-path processor's virtual time to
+	// computation, communication software overhead (the paper's "exposed"
+	// cost) and blocking waits; PerProc holds every processor's split.
+	Breakdown Breakdown
+	PerProc   []Breakdown
+
+	Mesh   grid.Mesh
+	arrays map[string]*Dense
+}
+
+// Breakdown is one processor's virtual-time attribution.
+type Breakdown struct {
+	Compute vtime.Duration
+	Comm    vtime.Duration
+	Wait    vtime.Duration
+}
+
+// Total returns the sum of the categories.
+func (b Breakdown) Total() vtime.Duration { return b.Compute + b.Comm + b.Wait }
+
+// CommFraction returns the share of time spent in communication overhead
+// plus waiting.
+func (b Breakdown) CommFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Comm+b.Wait) / float64(t)
+}
+
+// Dense is a gathered global array (for validation and inspection).
+type Dense struct {
+	Rank int
+	Reg  grid.Region
+	data []float64
+}
+
+// At returns the value at global point (i, j, k).
+func (d *Dense) At(i, j, k int) float64 {
+	s := d.Reg.Spans
+	if !s[0].Contains(i) || !s[1].Contains(j) || !s[2].Contains(k) {
+		panic(fmt.Sprintf("rt: dense read (%d,%d,%d) outside %v", i, j, k, d.Reg))
+	}
+	n1 := s[1].Len()
+	n2 := s[2].Len()
+	return d.data[((i-s[0].Lo)*n1+(j-s[1].Lo))*n2+(k-s[2].Lo)]
+}
+
+// Array returns the gathered global contents of the named array, or nil.
+func (r *Result) Array(name string) *Dense { return r.arrays[name] }
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// the named array in r and in other (for parallel-vs-serial validation).
+func (r *Result) MaxAbsDiff(other *Result, name string) float64 {
+	a, b := r.arrays[name], other.arrays[name]
+	if a == nil || b == nil {
+		panic(fmt.Sprintf("rt: array %q missing from result", name))
+	}
+	if a.Reg != b.Reg {
+		panic(fmt.Sprintf("rt: array %q shape mismatch: %v vs %v", name, a.Reg, b.Reg))
+	}
+	worst := 0.0
+	for i := range a.data {
+		d := math.Abs(a.data[i] - b.data[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// world is the state shared by all virtual processors of one run.
+type world struct {
+	prog *ir.Program
+	plan *comm.Plan
+	mach *machine.Machine
+	lib  *machine.Lib
+	mesh grid.Mesh
+
+	configVals []float64     // by ScalarSym.ID, configs+consts evaluated
+	regionVals []grid.Region // by RegionSym.ID, evaluated declared regions
+	master     [2]grid.Span  // anchor spans for the block distribution
+
+	procs []*proc
+
+	// reduction plumbing: every processor sends its contribution to the
+	// collector (rank 0 drains it), then reads its broadcast channel.
+	collect chan redMsg
+	bcast   []chan redMsg
+
+	abort     chan struct{}
+	abortOnce sync.Once
+	abortErr  error
+	abortMu   sync.Mutex
+}
+
+type redMsg struct {
+	seq  int
+	rank int
+	val  float64
+	t    vtime.Time
+}
+
+func (w *world) fail(err error) {
+	w.abortMu.Lock()
+	if w.abortErr == nil {
+		w.abortErr = err
+	}
+	w.abortMu.Unlock()
+	w.abortOnce.Do(func() { close(w.abort) })
+}
+
+// errAborted signals that another processor already failed.
+var errAborted = fmt.Errorf("rt: run aborted by another processor's failure")
+
+// Run executes the program under the given plan and configuration.
+func Run(prog *ir.Program, plan *comm.Plan, cfg Config) (*Result, error) {
+	if plan.Program != prog {
+		return nil, fmt.Errorf("rt: plan was built for a different program")
+	}
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("rt: processor count %d < 1", cfg.Procs)
+	}
+	lib, err := cfg.Machine.Lib(cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	w := &world{
+		prog:  prog,
+		plan:  plan,
+		mach:  cfg.Machine,
+		lib:   lib,
+		mesh:  grid.SquarestMesh(cfg.Procs),
+		abort: make(chan struct{}),
+	}
+	if err := w.setup(cfg); err != nil {
+		return nil, err
+	}
+
+	var wg sync.WaitGroup
+	for _, p := range w.procs {
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if r == errAborted {
+						return
+					}
+					w.fail(fmt.Errorf("rt: processor %d: %v", p.rank, r))
+				}
+			}()
+			p.body(prog.Main.Body)
+		}(p)
+	}
+	wg.Wait()
+	if w.abortErr != nil {
+		return nil, w.abortErr
+	}
+	return w.gather(), nil
+}
+
+// setup evaluates configs, constants and regions, builds the distribution
+// and allocates every processor's fields.
+func (w *world) setup(cfg Config) error {
+	prog := w.prog
+	w.configVals = make([]float64, len(prog.Scalars))
+	// Configs and constants evaluate in declaration order; later ones may
+	// reference earlier ones. Config overrides apply before constants that
+	// depend on them are computed.
+	ev := &scalarEnv{vals: w.configVals}
+	for _, c := range prog.Configs {
+		v := ev.eval(c.Init)
+		if ov, ok := cfg.ConfigVars[c.Name]; ok {
+			v = ov
+		}
+		w.configVals[c.ID] = v
+	}
+	for name := range cfg.ConfigVars {
+		if prog.LookupConfig(name) == nil {
+			return fmt.Errorf("rt: program has no config variable %q", name)
+		}
+	}
+	for _, c := range prog.Consts {
+		w.configVals[c.ID] = ev.eval(c.Init)
+	}
+
+	w.regionVals = make([]grid.Region, len(prog.Regions))
+	for _, r := range prog.Regions {
+		reg, err := evalRegionBounds(ev, r.RankN, r.Bounds)
+		if err != nil {
+			return fmt.Errorf("rt: region %s: %w", r.Name, err)
+		}
+		if reg.Empty() {
+			return fmt.Errorf("rt: region %s is empty: %v", r.Name, reg)
+		}
+		w.regionVals[r.ID] = reg
+	}
+
+	// The first declared region of rank >= 2 anchors the block
+	// distribution in both distributed dimensions (ZPL's trivial
+	// alignment); a rank-1 first region anchors dimension 0 only.
+	anchored := false
+	for _, r := range prog.Regions {
+		reg := w.regionVals[r.ID]
+		if r.RankN >= 2 {
+			w.master[0], w.master[1] = reg.Spans[0], reg.Spans[1]
+			anchored = true
+			break
+		}
+		if !anchored {
+			w.master[0] = reg.Spans[0]
+			w.master[1] = grid.Span{Lo: 1, Hi: 1}
+			anchored = true
+		}
+	}
+	if !anchored {
+		return fmt.Errorf("rt: program declares no regions")
+	}
+
+	// Ghost widths must fit inside the smallest block.
+	maxGhost := 0
+	for _, a := range prog.Arrays {
+		if a.Ghost > maxGhost {
+			maxGhost = a.Ghost
+		}
+	}
+	minBlock := w.master[0].Len() / w.mesh.Rows
+	if c := w.master[1].Len() / w.mesh.Cols; w.mesh.Cols > 1 && c < minBlock {
+		minBlock = c
+	}
+	if maxGhost > 0 && minBlock < maxGhost {
+		return fmt.Errorf("rt: block size %d smaller than ghost width %d; use fewer processors or a larger problem", minBlock, maxGhost)
+	}
+
+	w.collect = make(chan redMsg, w.mesh.Size()+1)
+	w.bcast = make([]chan redMsg, w.mesh.Size())
+	for i := range w.bcast {
+		w.bcast[i] = make(chan redMsg, 4)
+	}
+	w.procs = make([]*proc, w.mesh.Size())
+	for rank := range w.procs {
+		w.procs[rank] = newProc(w, rank)
+	}
+	for _, p := range w.procs {
+		p.allocate()
+	}
+	return nil
+}
+
+// ownerDim returns which of p blocks owns index i of the master span in
+// one dimension; indices outside the master span belong to the edge
+// blocks (regions slightly larger than the anchor region stay aligned).
+func ownerDim(master grid.Span, p, i int) int {
+	if i <= master.Lo {
+		if master.Len() == 0 {
+			return 0
+		}
+		i = master.Lo
+	}
+	if i > master.Hi {
+		i = master.Hi
+	}
+	return grid.OwnerOf(master.Len(), p, i-master.Lo+1)
+}
+
+// localSpan intersects a declared span with the indices owned by block b
+// of p in one dimension.
+func localSpan(master, declared grid.Span, p, b int) grid.Span {
+	bs := grid.BlockSpan(master.Len(), p, b)
+	lo := master.Lo + bs.Lo - 1
+	hi := master.Lo + bs.Hi - 1
+	if bs.Empty() {
+		return grid.Span{Lo: 1, Hi: 0}
+	}
+	// Edge blocks absorb indices outside the master span.
+	if b == 0 {
+		lo = declared.Lo
+	}
+	if b == p-1 {
+		hi = declared.Hi
+	}
+	return grid.Span{Lo: lo, Hi: hi}.Intersect(declared)
+}
+
+// localRegion returns the sub-region of reg owned by the processor at
+// mesh position (row, col).
+func (w *world) localRegion(reg grid.Region, row, col int) grid.Region {
+	out := reg
+	out.Spans[0] = localSpan(w.master[0], reg.Spans[0], w.mesh.Rows, row)
+	if reg.Rank >= 2 {
+		out.Spans[1] = localSpan(w.master[1], reg.Spans[1], w.mesh.Cols, col)
+	} else if col != 0 {
+		out.Spans[0] = grid.Span{Lo: 1, Hi: 0} // rank-1 data lives on column 0
+	}
+	return out
+}
+
+// scalarEnv evaluates setup-time scalar expressions (config and constant
+// initializers, region bounds) against the shared value table.
+type scalarEnv struct {
+	vals []float64
+}
+
+func (e *scalarEnv) eval(x ir.Expr) float64 {
+	switch x := x.(type) {
+	case *ir.Const:
+		return x.Val
+	case *ir.ScalarRef:
+		return e.vals[x.Sym.ID]
+	case *ir.Unary:
+		return evalUnary(x.Op, e.eval(x.X))
+	case *ir.Binary:
+		return evalBinary(x.Op, e.eval(x.X), e.eval(x.Y))
+	case *ir.Intrinsic:
+		args := make([]float64, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = e.eval(a)
+		}
+		return evalIntrinsic(x.Fn, args)
+	}
+	panic(fmt.Sprintf("rt: expression %T not valid at setup time", x))
+}
+
+func evalRegionBounds(ev *scalarEnv, rank int, bounds [grid.MaxRank][2]ir.Expr) (grid.Region, error) {
+	spans := make([]grid.Span, rank)
+	for d := 0; d < rank; d++ {
+		lo := ev.eval(bounds[d][0])
+		hi := ev.eval(bounds[d][1])
+		if lo != math.Trunc(lo) || hi != math.Trunc(hi) {
+			return grid.Region{}, fmt.Errorf("non-integer bounds %g..%g", lo, hi)
+		}
+		spans[d] = grid.Span{Lo: int(lo), Hi: int(hi)}
+	}
+	return grid.NewRegion(rank, spans...), nil
+}
+
+// gather assembles the final global arrays and statistics.
+func (w *world) gather() *Result {
+	res := &Result{Mesh: w.mesh, arrays: map[string]*Dense{}}
+	for _, p := range w.procs {
+		bd := Breakdown{Compute: p.computeT, Comm: p.commT, Wait: p.waitT}
+		res.PerProc = append(res.PerProc, bd)
+		if t := vtime.Duration(p.clock); t > res.ExecTime {
+			res.ExecTime = t
+			res.Breakdown = bd
+		}
+		res.Messages += p.messages
+		res.BytesSent += p.bytesSent
+	}
+	p0 := w.procs[0]
+	res.DynamicTransfers = p0.dynTransfers
+	res.Reductions = p0.reductions
+	res.Output = p0.output.String()
+
+	for _, a := range w.prog.Arrays {
+		reg := w.regionVals[a.Region.ID]
+		d := &Dense{Rank: a.Region.RankN, Reg: reg, data: make([]float64, reg.Size())}
+		s := reg.Spans
+		n1, n2 := s[1].Len(), s[2].Len()
+		for _, p := range w.procs {
+			f := p.fields[a.ID]
+			if !f.Allocated() {
+				continue
+			}
+			field.ForEach(f.Local, func(i, j, k int) {
+				d.data[((i-s[0].Lo)*n1+(j-s[1].Lo))*n2+(k-s[2].Lo)] = f.At(i, j, k)
+			})
+		}
+		res.arrays[a.Name] = d
+	}
+	return res
+}
+
+// DumpArrays lists gathered array names (diagnostics).
+func (r *Result) DumpArrays() string {
+	names := make([]string, 0, len(r.arrays))
+	for n := range r.arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}

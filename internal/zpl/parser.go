@@ -1,0 +1,630 @@
+package zpl
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parser builds an AST from ZPL source text.
+type Parser struct {
+	lex  *Lexer
+	tok  Token
+	peek Token
+	err  error
+}
+
+// Parse parses a complete ZPL program.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next() // fill peek
+	p.next() // fill tok
+	prog := p.parseProgram()
+	if p.err != nil {
+		return nil, p.err
+	}
+	return prog, nil
+}
+
+func (p *Parser) next() {
+	p.tok = p.peek
+	if p.err != nil {
+		p.peek = Token{Kind: EOF, Pos: p.peek.Pos}
+		return
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		t = Token{Kind: EOF}
+	}
+	p.peek = t
+}
+
+func (p *Parser) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = Errorf(p.tok.Pos, format, args...)
+	}
+}
+
+func (p *Parser) expect(k Kind) Token {
+	t := p.tok
+	if t.Kind != k {
+		p.fail("expected %s, found %s %q", k, t.Kind, t.Text)
+		return t
+	}
+	p.next()
+	return t
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseProgram() *Program {
+	prog := &Program{}
+	p.expect(KWPROGRAM)
+	prog.Name = p.expect(IDENT).Text
+	p.expect(SEMI)
+	for p.err == nil && p.tok.Kind != EOF {
+		switch p.tok.Kind {
+		case KWCONFIG, KWCONST, KWREGION, KWDIRECTION, KWVAR:
+			prog.Decls = append(prog.Decls, p.parseDecl()...)
+		case KWPROCEDURE:
+			prog.Procs = append(prog.Procs, p.parseProc())
+		default:
+			p.fail("expected declaration or procedure, found %s %q", p.tok.Kind, p.tok.Text)
+		}
+	}
+	return prog
+}
+
+func (p *Parser) parseType() TypeName {
+	switch p.tok.Kind {
+	case KWFLOAT:
+		p.next()
+		return TypeFloat
+	case KWINTEGER:
+		p.next()
+		return TypeInteger
+	case KWBOOLEAN:
+		p.next()
+		return TypeBoolean
+	}
+	p.fail("expected type name, found %s %q", p.tok.Kind, p.tok.Text)
+	return TypeFloat
+}
+
+func (p *Parser) parseIdentList() []string {
+	names := []string{p.expect(IDENT).Text}
+	for p.accept(COMMA) {
+		names = append(names, p.expect(IDENT).Text)
+	}
+	return names
+}
+
+func (p *Parser) parseDecl() []Decl {
+	switch p.tok.Kind {
+	case KWCONFIG:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(KWVAR)
+		names := p.parseIdentList()
+		p.expect(COLON)
+		typ := p.parseType()
+		p.expect(EQ)
+		init := p.parseExpr()
+		p.expect(SEMI)
+		return []Decl{&ConfigDecl{Pos: pos, Names: names, Type: typ, Init: init}}
+
+	case KWCONST:
+		pos := p.tok.Pos
+		p.next()
+		var out []Decl
+		for {
+			name := p.expect(IDENT).Text
+			typ := TypeFloat
+			if p.accept(COLON) {
+				typ = p.parseType()
+			}
+			p.expect(EQ)
+			val := p.parseExpr()
+			p.expect(SEMI)
+			out = append(out, &ConstDecl{Pos: pos, Name: name, Type: typ, Value: val})
+			if p.tok.Kind != IDENT {
+				return out
+			}
+		}
+
+	case KWREGION:
+		pos := p.tok.Pos
+		p.next()
+		var out []Decl
+		for {
+			name := p.expect(IDENT).Text
+			p.expect(EQ)
+			ranges := p.parseRegionLiteral()
+			p.expect(SEMI)
+			out = append(out, &RegionDecl{Pos: pos, Name: name, Ranges: ranges})
+			if p.tok.Kind != IDENT {
+				return out
+			}
+		}
+
+	case KWDIRECTION:
+		pos := p.tok.Pos
+		p.next()
+		var out []Decl
+		for {
+			name := p.expect(IDENT).Text
+			p.expect(EQ)
+			p.expect(LBRACK)
+			comps := []Expr{p.parseExpr()}
+			for p.accept(COMMA) {
+				comps = append(comps, p.parseExpr())
+			}
+			p.expect(RBRACK)
+			p.expect(SEMI)
+			out = append(out, &DirectionDecl{Pos: pos, Name: name, Comps: comps})
+			if p.tok.Kind != IDENT {
+				return out
+			}
+		}
+
+	case KWVAR:
+		pos := p.tok.Pos
+		p.next()
+		var out []Decl
+		for {
+			d := p.parseVarBody(pos)
+			out = append(out, d)
+			if p.tok.Kind != IDENT {
+				return out
+			}
+		}
+	}
+	p.fail("expected declaration")
+	return nil
+}
+
+// parseVarBody parses "A, B : [R] float ;" after the var keyword (or for
+// continued declarator lists).
+func (p *Parser) parseVarBody(pos Pos) *VarDecl {
+	names := p.parseIdentList()
+	p.expect(COLON)
+	region := ""
+	if p.accept(LBRACK) {
+		region = p.expect(IDENT).Text
+		p.expect(RBRACK)
+	}
+	typ := p.parseType()
+	p.expect(SEMI)
+	return &VarDecl{Pos: pos, Names: names, Region: region, Type: typ}
+}
+
+func (p *Parser) parseRegionLiteral() []Range {
+	p.expect(LBRACK)
+	var ranges []Range
+	for {
+		lo := p.parseExpr()
+		p.expect(DOTDOT)
+		hi := p.parseExpr()
+		ranges = append(ranges, Range{Lo: lo, Hi: hi})
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	p.expect(RBRACK)
+	return ranges
+}
+
+func (p *Parser) parseProc() *ProcDecl {
+	pos := p.expect(KWPROCEDURE).Pos
+	proc := &ProcDecl{Pos: pos}
+	proc.Name = p.expect(IDENT).Text
+	p.expect(LPAREN)
+	if p.tok.Kind != RPAREN {
+		for {
+			names := p.parseIdentList()
+			p.expect(COLON)
+			typ := p.parseType()
+			for _, n := range names {
+				proc.Params = append(proc.Params, Param{Name: n, Type: typ})
+			}
+			if !p.accept(SEMI) {
+				break
+			}
+		}
+	}
+	p.expect(RPAREN)
+	p.expect(SEMI)
+	for p.tok.Kind == KWVAR {
+		pos := p.tok.Pos
+		p.next()
+		for {
+			proc.Locals = append(proc.Locals, p.parseVarBody(pos))
+			if p.tok.Kind != IDENT {
+				break
+			}
+		}
+	}
+	p.expect(KWBEGIN)
+	proc.Body = p.parseStmts(KWEND)
+	p.expect(KWEND)
+	p.expect(SEMI)
+	return proc
+}
+
+// parseStmts parses statements until one of the terminator keywords (which
+// is left un-consumed).
+func (p *Parser) parseStmts(terms ...Kind) []Stmt {
+	var out []Stmt
+	for p.err == nil {
+		for _, t := range terms {
+			if p.tok.Kind == t {
+				return out
+			}
+		}
+		if p.tok.Kind == EOF {
+			p.fail("unexpected end of file in statement list")
+			return out
+		}
+		out = append(out, p.parseStmt())
+	}
+	return out
+}
+
+func (p *Parser) parseStmt() Stmt {
+	switch p.tok.Kind {
+	case LBRACK:
+		pos := p.tok.Pos
+		ref := p.parseRegionRef()
+		body := p.parseStmt()
+		return &ScopeStmt{Pos: pos, Region: ref, Body: body}
+
+	case KWBEGIN:
+		pos := p.tok.Pos
+		p.next()
+		body := p.parseStmts(KWEND)
+		p.expect(KWEND)
+		p.expect(SEMI)
+		return &CompoundStmt{Pos: pos, Body: body}
+
+	case KWIF:
+		pos := p.tok.Pos
+		p.next()
+		cond := p.parseExpr()
+		p.expect(KWTHEN)
+		then := p.parseStmts(KWELSIF, KWELSE, KWEND)
+		stmt := &IfStmt{Pos: pos, Cond: cond, Then: then}
+		for p.tok.Kind == KWELSIF {
+			p.next()
+			c := p.parseExpr()
+			p.expect(KWTHEN)
+			b := p.parseStmts(KWELSIF, KWELSE, KWEND)
+			stmt.Elifs = append(stmt.Elifs, ElifArm{Cond: c, Body: b})
+		}
+		if p.accept(KWELSE) {
+			stmt.Else = p.parseStmts(KWEND)
+		}
+		p.expect(KWEND)
+		p.expect(SEMI)
+		return stmt
+
+	case KWREPEAT:
+		pos := p.tok.Pos
+		p.next()
+		body := p.parseStmts(KWUNTIL)
+		p.expect(KWUNTIL)
+		cond := p.parseExpr()
+		p.expect(SEMI)
+		return &RepeatStmt{Pos: pos, Body: body, Until: cond}
+
+	case KWWHILE:
+		pos := p.tok.Pos
+		p.next()
+		cond := p.parseExpr()
+		p.expect(KWDO)
+		body := p.parseStmts(KWEND)
+		p.expect(KWEND)
+		p.expect(SEMI)
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}
+
+	case KWFOR:
+		pos := p.tok.Pos
+		p.next()
+		v := p.expect(IDENT).Text
+		p.expect(ASSIGN)
+		lo := p.parseExpr()
+		down := false
+		if p.tok.Kind == KWDOWNTO {
+			down = true
+			p.next()
+		} else {
+			p.expect(KWTO)
+		}
+		hi := p.parseExpr()
+		p.expect(KWDO)
+		body := p.parseStmts(KWEND)
+		p.expect(KWEND)
+		p.expect(SEMI)
+		return &ForStmt{Pos: pos, Var: v, Lo: lo, Hi: hi, Down: down, Body: body}
+
+	case KWWRITELN:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(LPAREN)
+		var args []Expr
+		if p.tok.Kind != RPAREN {
+			args = append(args, p.parseExpr())
+			for p.accept(COMMA) {
+				args = append(args, p.parseExpr())
+			}
+		}
+		p.expect(RPAREN)
+		p.expect(SEMI)
+		return &WriteStmt{Pos: pos, Args: args}
+
+	case IDENT:
+		pos := p.tok.Pos
+		name := p.tok.Text
+		p.next()
+		if p.tok.Kind == LPAREN {
+			p.next()
+			var args []Expr
+			if p.tok.Kind != RPAREN {
+				args = append(args, p.parseExpr())
+				for p.accept(COMMA) {
+					args = append(args, p.parseExpr())
+				}
+			}
+			p.expect(RPAREN)
+			p.expect(SEMI)
+			return &CallStmt{Pos: pos, Name: name, Args: args}
+		}
+		p.expect(ASSIGN)
+		rhs := p.parseExpr()
+		p.expect(SEMI)
+		return &AssignStmt{Pos: pos, LHS: name, RHS: rhs}
+	}
+	p.fail("expected statement, found %s %q", p.tok.Kind, p.tok.Text)
+	p.next()
+	return &CompoundStmt{}
+}
+
+// parseRegionRef parses "[R]" or "[lo..hi, lo..hi]".
+func (p *Parser) parseRegionRef() RegionRef {
+	p.expect(LBRACK)
+	// A lone identifier followed by ']' names a declared region.
+	if p.tok.Kind == IDENT && p.peek.Kind == RBRACK {
+		name := p.tok.Text
+		p.next()
+		p.expect(RBRACK)
+		return RegionRef{Name: name}
+	}
+	var ranges []Range
+	for {
+		lo := p.parseExpr()
+		p.expect(DOTDOT)
+		hi := p.parseExpr()
+		ranges = append(ranges, Range{Lo: lo, Hi: hi})
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	p.expect(RBRACK)
+	return RegionRef{Ranges: ranges}
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr    = orExpr
+//	orExpr  = andExpr { "or" andExpr }
+//	andExpr = relExpr { "and" relExpr }
+//	relExpr = addExpr [ relop addExpr ]
+//	addExpr = mulExpr { ("+"|"-") mulExpr }
+//	mulExpr = unary { ("*"|"/"|"%") unary }
+//	unary   = ("-"|"not") unary | reduce | postfix
+//	reduce  = ("+"|"*"|"max"|"min") "<<" expr-at-rel-level
+//	postfix = primary [ "@" dirref ]
+func (p *Parser) parseExpr() Expr { return p.parseOr() }
+
+func (p *Parser) parseOr() Expr {
+	x := p.parseAnd()
+	for p.tok.Kind == KWOR {
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseAnd()
+		x = &BinaryExpr{Pos: pos, Op: KWOR, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *Parser) parseAnd() Expr {
+	x := p.parseRel()
+	for p.tok.Kind == KWAND {
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseRel()
+		x = &BinaryExpr{Pos: pos, Op: KWAND, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *Parser) parseRel() Expr {
+	x := p.parseAdd()
+	switch p.tok.Kind {
+	case EQ, NE, LT, LE, GT, GE:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseAdd()
+		return &BinaryExpr{Pos: pos, Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *Parser) parseAdd() Expr {
+	x := p.parseMul()
+	for p.tok.Kind == PLUS || p.tok.Kind == MINUS {
+		// "+<<" begins a reduction, not an addition.
+		if p.peek.Kind == REDUCE {
+			return x
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseMul()
+		x = &BinaryExpr{Pos: pos, Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *Parser) parseMul() Expr {
+	x := p.parseUnary()
+	for p.tok.Kind == STAR || p.tok.Kind == SLASH || p.tok.Kind == PERCENT {
+		if p.peek.Kind == REDUCE {
+			return x
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseUnary()
+		x = &BinaryExpr{Pos: pos, Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *Parser) parseUnary() Expr {
+	switch p.tok.Kind {
+	case MINUS:
+		pos := p.tok.Pos
+		p.next()
+		return &UnaryExpr{Pos: pos, Op: MINUS, X: p.parseUnary()}
+	case KWNOT:
+		pos := p.tok.Pos
+		p.next()
+		return &UnaryExpr{Pos: pos, Op: KWNOT, X: p.parseUnary()}
+	case PLUS, STAR:
+		if p.peek.Kind == REDUCE {
+			op := "+"
+			if p.tok.Kind == STAR {
+				op = "*"
+			}
+			pos := p.tok.Pos
+			p.next() // op
+			p.next() // <<
+			return &ReduceExpr{Pos: pos, Op: op, X: p.parseAdd()}
+		}
+	case KWMAX, KWMIN:
+		if p.peek.Kind == REDUCE {
+			op := "max"
+			if p.tok.Kind == KWMIN {
+				op = "min"
+			}
+			pos := p.tok.Pos
+			p.next()
+			p.next()
+			return &ReduceExpr{Pos: pos, Op: op, X: p.parseAdd()}
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	if p.tok.Kind == AT {
+		pos := p.tok.Pos
+		p.next()
+		id, ok := x.(*Ident)
+		if !ok {
+			p.fail("@ may only shift a plain array variable")
+			return x
+		}
+		dir := p.parseDirRef()
+		return &AtExpr{Pos: pos, Array: id.Name, Dir: dir}
+	}
+	return x
+}
+
+func (p *Parser) parseDirRef() DirRef {
+	if p.tok.Kind == IDENT {
+		name := p.tok.Text
+		p.next()
+		return DirRef{Name: name}
+	}
+	p.expect(LBRACK)
+	comps := []Expr{p.parseExpr()}
+	for p.accept(COMMA) {
+		comps = append(comps, p.parseExpr())
+	}
+	p.expect(RBRACK)
+	return DirRef{Comps: comps}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	switch p.tok.Kind {
+	case NUMBER:
+		t := p.tok
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			p.fail("bad number %q: %v", t.Text, err)
+		}
+		isInt := !strings.ContainsAny(t.Text, ".eE")
+		return &NumLit{Pos: t.Pos, Text: t.Text, Value: v, IsInt: isInt}
+	case STRING:
+		t := p.tok
+		p.next()
+		return &StrLit{Pos: t.Pos, Value: t.Text}
+	case KWTRUE:
+		t := p.tok
+		p.next()
+		return &BoolLit{Pos: t.Pos, Value: true}
+	case KWFALSE:
+		t := p.tok
+		p.next()
+		return &BoolLit{Pos: t.Pos, Value: false}
+	case KWMAX, KWMIN:
+		// max(a, b) / min(a, b) intrinsics (when not reductions).
+		t := p.tok
+		name := "max"
+		if t.Kind == KWMIN {
+			name = "min"
+		}
+		p.next()
+		p.expect(LPAREN)
+		args := []Expr{p.parseExpr()}
+		for p.accept(COMMA) {
+			args = append(args, p.parseExpr())
+		}
+		p.expect(RPAREN)
+		return &CallExpr{Pos: t.Pos, Name: name, Args: args}
+	case IDENT:
+		t := p.tok
+		p.next()
+		if p.tok.Kind == LPAREN {
+			p.next()
+			var args []Expr
+			if p.tok.Kind != RPAREN {
+				args = append(args, p.parseExpr())
+				for p.accept(COMMA) {
+					args = append(args, p.parseExpr())
+				}
+			}
+			p.expect(RPAREN)
+			return &CallExpr{Pos: t.Pos, Name: t.Text, Args: args}
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}
+	case LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(RPAREN)
+		return x
+	}
+	p.fail("expected expression, found %s %q", p.tok.Kind, p.tok.Text)
+	p.next()
+	return &NumLit{Value: 0, Text: "0", IsInt: true}
+}

@@ -216,6 +216,27 @@ func BenchmarkCompilerFrontEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildPlan measures the optimizer alone — the full pass
+// pipeline over an already-compiled program, one sub-benchmark per suite
+// program — so pipeline overhead (shared analyses, per-pass traces) shows
+// up here rather than hiding inside runtime-dominated numbers.
+func BenchmarkBuildPlan(b *testing.B) {
+	for _, bench := range programs.Suite() {
+		prog, err := Compile(bench.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bench.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan := prog.Plan(comm.PL())
+				if plan.StaticCount == 0 {
+					b.Fatal("no transfers")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRuntimeMessaging measures the simulator's own messaging path:
 // one iteration of a communication-heavy program on 16 goroutine
 // processors.

@@ -1,18 +1,22 @@
 // Command zplc compiles a ZPL program and reports its communication plan:
 // the transfers the optimizer generates per basic block, their IRONMAN
-// call placements, and the static communication counts under each
-// optimization level.
+// call placements, the static communication counts under each
+// optimization level, and the per-pass pipeline trace.
 //
 // Usage:
 //
-//	zplc [-O baseline|rr|cc|pl|pl-maxlat] [-dump] [-counts] file.zpl
-//	zplc -bench tomcatv -counts       # compile a bundled benchmark
+//	zplc [-O baseline|rr|cc|pl|pl-maxlat] [-dump] [-counts] [-explain] file.zpl
+//	zplc -bench tomcatv -counts         # compile a bundled benchmark
+//	zplc -bench tomcatv -explain        # what each optimization pass did
+//	zplc -passes emit,rr,pl file.zpl    # run an explicit pass list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"commopt/internal/comm"
 	"commopt/internal/ir"
@@ -22,18 +26,74 @@ import (
 )
 
 func main() {
-	level := flag.String("O", "pl", "optimization level: baseline, rr, cc, pl, pl-maxlat")
-	dump := flag.Bool("dump", false, "dump every basic block's transfers and call placements")
-	counts := flag.Bool("counts", false, "print static counts under every optimization level")
-	bench := flag.String("bench", "", "compile a bundled benchmark (tomcatv, swm, simple, sp) instead of a file")
-	inline := flag.Bool("inline", false, "inline procedure calls before communication analysis (Section 4 extension)")
-	hoist := flag.Bool("hoist", false, "hoist loop-invariant communication to loop preheaders (Section 4 extension)")
-	flag.Parse()
-
-	if err := run(*level, *dump, *counts, *bench, *inline, *hoist, flag.Args()); err != nil {
+	cfg, err := parseArgs(os.Args[1:])
+	if err == flag.ErrHelp {
+		return
+	}
+	if err == nil {
+		err = run(os.Stdout, cfg)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "zplc:", err)
 		os.Exit(1)
 	}
+}
+
+// config is the parsed command line.
+type config struct {
+	level   string
+	dump    bool
+	counts  bool
+	explain bool
+	bench   string
+	inline  bool
+	hoist   bool
+	passes  []string // nil: the pass list the -O level selects
+	file    string   // empty when bench is set
+}
+
+// parseArgs parses the command line, returning an error (never exiting or
+// panicking) for unknown flags, unknown optimization levels, malformed
+// pass lists or missing inputs, so the caller can report it cleanly. It
+// returns flag.ErrHelp when usage was requested.
+func parseArgs(args []string) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("zplc", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // errors are reported by the caller, once
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: zplc [flags] file.zpl (or -bench name)")
+		fs.SetOutput(os.Stderr)
+		fs.PrintDefaults()
+		fs.SetOutput(io.Discard)
+	}
+	fs.StringVar(&cfg.level, "O", "pl", "optimization level: baseline, rr, cc, pl, pl-maxlat")
+	fs.BoolVar(&cfg.dump, "dump", false, "dump every basic block's transfers and call placements")
+	fs.BoolVar(&cfg.counts, "counts", false, "print static counts under every optimization level")
+	fs.BoolVar(&cfg.explain, "explain", false, "print the per-pass pipeline trace (what each pass emitted, dropped, merged, moved)")
+	fs.StringVar(&cfg.bench, "bench", "", "compile a bundled benchmark (tomcatv, swm, simple, sp) instead of a file")
+	fs.BoolVar(&cfg.inline, "inline", false, "inline procedure calls before communication analysis (Section 4 extension)")
+	fs.BoolVar(&cfg.hoist, "hoist", false, "hoist loop-invariant communication to loop preheaders (Section 4 extension)")
+	passList := fs.String("passes", "", "explicit comma-separated pass list overriding -O/-hoist (e.g. emit,rr,pl; known: "+strings.Join(comm.PassNames(), ",")+")")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *passList != "" {
+		cfg.passes = strings.Split(*passList, ",")
+		for i := range cfg.passes {
+			cfg.passes[i] = strings.TrimSpace(cfg.passes[i])
+		}
+	}
+	if _, err := OptionsByName(cfg.level); err != nil {
+		return nil, err
+	}
+	switch rest := fs.Args(); {
+	case cfg.bench != "" && len(rest) == 0:
+	case cfg.bench == "" && len(rest) == 1:
+		cfg.file = rest[0]
+	default:
+		return nil, fmt.Errorf("usage: zplc [flags] file.zpl (or -bench name)")
+	}
+	return cfg, nil
 }
 
 // OptionsByName maps command-line level names to optimizer options.
@@ -50,26 +110,38 @@ func OptionsByName(name string) (comm.Options, error) {
 	case "pl-maxlat":
 		return comm.PLMaxLatency(), nil
 	}
-	return comm.Options{}, fmt.Errorf("unknown optimization level %q", name)
+	return comm.Options{}, fmt.Errorf("unknown optimization level %q (known: baseline, rr, cc, pl, pl-maxlat)", name)
 }
 
-func run(level string, dump, counts bool, bench string, inline, hoist bool, args []string) error {
+// pipelineFor builds the pass pipeline the command line selects: either
+// the -O level (plus -hoist), or the explicit -passes list.
+func pipelineFor(cfg *config) (*comm.Pipeline, error) {
+	opts, err := OptionsByName(cfg.level)
+	if err != nil {
+		return nil, err
+	}
+	opts.HoistInvariant = cfg.hoist
+	if cfg.passes != nil {
+		return comm.PipelineFor(opts, cfg.passes)
+	}
+	return comm.NewPipeline(opts), nil
+}
+
+func run(w io.Writer, cfg *config) error {
 	var src, name string
 	switch {
-	case bench != "":
-		b, err := programs.ByName(bench)
+	case cfg.bench != "":
+		b, err := programs.ByName(cfg.bench)
 		if err != nil {
 			return err
 		}
 		src, name = b.Source, b.Name
-	case len(args) == 1:
-		data, err := os.ReadFile(args[0])
+	default:
+		data, err := os.ReadFile(cfg.file)
 		if err != nil {
 			return err
 		}
-		src, name = string(data), args[0]
-	default:
-		return fmt.Errorf("usage: zplc [flags] file.zpl (or -bench name)")
+		src, name = string(data), cfg.file
 	}
 
 	ast, err := zpl.Parse(src)
@@ -80,63 +152,115 @@ func run(level string, dump, counts bool, bench string, inline, hoist bool, args
 	if err != nil {
 		return fmt.Errorf("%s: %w", name, err)
 	}
-	if inline {
+	if cfg.inline {
 		prog = ir.Inline(prog)
 	}
-	opts, err := OptionsByName(level)
+	pipeline, err := pipelineFor(cfg)
 	if err != nil {
 		return err
 	}
-	opts.HoistInvariant = hoist
-	plan := comm.BuildPlan(prog, opts)
-	if err := comm.CheckPlan(plan); err != nil {
+	pipeline.Debug = true // catch an invalid plan at the pass that broke it
+	plan, err := pipeline.Build(prog)
+	if err != nil {
 		return fmt.Errorf("internal error: invalid plan: %w", err)
 	}
+	opts := pipeline.Options()
 
-	fmt.Printf("program %s: %d arrays, %d regions, %d directions, %d procedures\n",
+	fmt.Fprintf(w, "program %s: %d arrays, %d regions, %d directions, %d procedures\n",
 		prog.Name, len(prog.Arrays), len(prog.Regions), len(prog.Dirs), len(prog.Procs))
-	fmt.Printf("optimization %s: %d static communications", opts, plan.StaticCount)
-	if hoist {
-		fmt.Printf(" (%d hoisted to loop preheaders)", plan.HoistedCount())
+	if cfg.passes != nil {
+		fmt.Fprintf(w, "passes %s: %d static communications", strings.Join(pipeline.Names(), ","), plan.StaticCount)
+	} else {
+		fmt.Fprintf(w, "optimization %s: %d static communications", opts, plan.StaticCount)
 	}
-	fmt.Print("\n\n")
+	if opts.HoistInvariant {
+		fmt.Fprintf(w, " (%d hoisted to loop preheaders)", plan.HoistedCount())
+	}
+	fmt.Fprint(w, "\n\n")
 
-	if counts {
-		t := &report.Table{
-			Title:   "static communication counts by optimization level",
-			Headers: []string{"level", "static count", "% of baseline"},
-		}
-		base := comm.BuildPlan(prog, comm.Baseline()).StaticCount
-		for _, lv := range []string{"baseline", "rr", "cc", "pl", "pl-maxlat"} {
-			o, _ := OptionsByName(lv)
-			p := comm.BuildPlan(prog, o)
-			pctS := "n/a"
-			if base > 0 {
-				pctS = fmt.Sprintf("%.0f%%", 100*float64(p.StaticCount)/float64(base))
-			}
-			t.AddRow(lv, p.StaticCount, pctS)
-		}
-		t.Render(os.Stdout)
+	if cfg.explain {
+		explainTrace(w, plan.Trace)
 	}
 
-	if dump {
-		for bi, bp := range plan.Blocks {
-			if len(bp.Transfers) == 0 {
-				continue
-			}
-			fmt.Printf("basic block %d (%d statements):\n", bi, len(bp.Stmts))
-			for _, tr := range bp.Transfers {
-				items := ""
-				for i, a := range tr.Items {
-					if i > 0 {
-						items += ","
-					}
-					items += a.Name
-				}
-				fmt.Printf("  transfer %-24s offset %-10v DR@%-3d SR@%-3d DN@%-3d SV@%-3d\n",
-					items, tr.Offset, tr.DRPos, tr.SRPos, tr.DNPos, tr.SVPos)
-			}
+	if cfg.counts {
+		if err := renderCounts(w, prog); err != nil {
+			return err
 		}
+	}
+
+	if cfg.dump {
+		dumpBlocks(w, plan)
 	}
 	return nil
+}
+
+// explainTrace renders the per-pass diff of the build: what each stage
+// emitted, dropped, merged and moved, and the running static count.
+func explainTrace(w io.Writer, tr *comm.Trace) {
+	t := &report.Table{
+		Title:   "per-pass pipeline trace",
+		Headers: []string{"pass", "static in", "static out", "emitted", "dropped", "merged", "moved"},
+	}
+	for _, pt := range tr.Passes {
+		t.AddRow(pt.Pass, pt.Before, pt.After, pt.Emitted, pt.Dropped, pt.Merged, pt.Moved)
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "pipeline: %s\n\n", tr)
+}
+
+// renderCounts prints the per-level static count table. The baseline, rr,
+// cc and pl rows all come from ONE full-pipeline trace (each stage's
+// output count is exactly that level's static count); only the
+// alternative combining heuristic needs a second build.
+func renderCounts(w io.Writer, prog *ir.Program) error {
+	plan, err := comm.NewPipeline(comm.PL()).Build(prog)
+	if err != nil {
+		return err
+	}
+	tr := plan.Trace
+	maxlat, err := comm.NewPipeline(comm.PLMaxLatency()).Build(prog)
+	if err != nil {
+		return err
+	}
+	byLevel := map[string]int{
+		"baseline":  tr.ByName("emit").After,
+		"rr":        tr.ByName("rr").After,
+		"cc":        tr.ByName("cc").After,
+		"pl":        tr.ByName("pl").After,
+		"pl-maxlat": maxlat.StaticCount,
+	}
+	t := &report.Table{
+		Title:   "static communication counts by optimization level",
+		Headers: []string{"level", "static count", "% of baseline"},
+	}
+	base := byLevel["baseline"]
+	for _, lv := range []string{"baseline", "rr", "cc", "pl", "pl-maxlat"} {
+		pctS := "n/a"
+		if base > 0 {
+			pctS = fmt.Sprintf("%.0f%%", 100*float64(byLevel[lv])/float64(base))
+		}
+		t.AddRow(lv, byLevel[lv], pctS)
+	}
+	t.Render(w)
+	return nil
+}
+
+func dumpBlocks(w io.Writer, plan *comm.Plan) {
+	for bi, bp := range plan.Blocks {
+		if len(bp.Transfers) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "basic block %d (%d statements):\n", bi, len(bp.Stmts))
+		for _, tr := range bp.Transfers {
+			items := ""
+			for i, a := range tr.Items {
+				if i > 0 {
+					items += ","
+				}
+				items += a.Name
+			}
+			fmt.Fprintf(w, "  transfer %-24s offset %-10v DR@%-3d SR@%-3d DN@%-3d SV@%-3d\n",
+				items, tr.Offset, tr.DRPos, tr.SRPos, tr.DNPos, tr.SVPos)
+		}
+	}
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseArgsValid(t *testing.T) {
+	cases := []struct {
+		args []string
+		want config
+	}{
+		{[]string{"prog.zpl"}, config{level: "pl", file: "prog.zpl"}},
+		{[]string{"-O", "rr", "-counts", "prog.zpl"}, config{level: "rr", counts: true, file: "prog.zpl"}},
+		{[]string{"-bench", "tomcatv", "-explain"}, config{level: "pl", bench: "tomcatv", explain: true}},
+		{[]string{"-bench", "swm", "-dump", "-inline", "-hoist"},
+			config{level: "pl", bench: "swm", dump: true, inline: true, hoist: true}},
+		{[]string{"-passes", "emit, rr ,pl", "-bench", "sp"},
+			config{level: "pl", bench: "sp", passes: []string{"emit", "rr", "pl"}}},
+	}
+	for _, c := range cases {
+		got, err := parseArgs(c.args)
+		if err != nil {
+			t.Errorf("parseArgs(%v): %v", c.args, err)
+			continue
+		}
+		if got.level != c.want.level || got.dump != c.want.dump || got.counts != c.want.counts ||
+			got.explain != c.want.explain || got.bench != c.want.bench || got.inline != c.want.inline ||
+			got.hoist != c.want.hoist || got.file != c.want.file ||
+			strings.Join(got.passes, ",") != strings.Join(c.want.passes, ",") {
+			t.Errorf("parseArgs(%v) = %+v, want %+v", c.args, *got, c.want)
+		}
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{}, "usage"},
+		{[]string{"a.zpl", "b.zpl"}, "usage"},
+		{[]string{"-bench", "tomcatv", "extra.zpl"}, "usage"},
+		{[]string{"-wat", "prog.zpl"}, "not defined"},
+		{[]string{"-O", "bogus", "prog.zpl"}, "unknown optimization level"},
+	}
+	for _, c := range cases {
+		_, err := parseArgs(c.args)
+		if err == nil {
+			t.Errorf("parseArgs(%v) accepted invalid arguments", c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("parseArgs(%v) error %q does not mention %q", c.args, err, c.wantErr)
+		}
+	}
+}
+
+// Bad pass lists parse at the flag layer but are rejected when the
+// pipeline is constructed, with an error naming the problem.
+func TestPipelineForRejectsBadPassFlag(t *testing.T) {
+	cases := []struct {
+		passes  string
+		wantErr string
+	}{
+		{"rr,cc", "emit"},
+		{"emit,frobnicate", "frobnicate"},
+		{"emit,hoist,pl", "hoist"},
+	}
+	for _, c := range cases {
+		cfg, err := parseArgs([]string{"-passes", c.passes, "-bench", "tomcatv"})
+		if err != nil {
+			t.Fatalf("parseArgs(-passes %s): %v", c.passes, err)
+		}
+		if _, err := pipelineFor(cfg); err == nil {
+			t.Errorf("pipelineFor accepted -passes %s", c.passes)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("-passes %s error %q does not mention %q", c.passes, err, c.wantErr)
+		}
+	}
+}
+
+func TestOptionsByName(t *testing.T) {
+	want := map[string]string{
+		"baseline": "baseline", "rr": "rr", "cc": "cc", "pl": "pl",
+		"pl-maxlat": "pl/max-latency",
+	}
+	for name, s := range want {
+		opts, err := OptionsByName(name)
+		if err != nil {
+			t.Errorf("OptionsByName(%q): %v", name, err)
+		}
+		if opts.String() != s {
+			t.Errorf("OptionsByName(%q).String() = %q, want %q", name, opts.String(), s)
+		}
+	}
+	if _, err := OptionsByName("o3"); err == nil {
+		t.Error("OptionsByName accepted an unknown level")
+	}
+}

@@ -18,37 +18,31 @@ import (
 //   - no carried array is written between a transfer's send point and its
 //     source-volatile point (the data would be corrupted in flight).
 //
+// Because every pipeline pass leaves transfers placed, the same checks
+// also run between passes in debug mode (see Pipeline.Debug), over the
+// block's shared analysis instead of ad-hoc rescans.
+//
 // CheckPlan returns the first violation found, or nil.
 func CheckPlan(p *Plan) error {
 	for i, bp := range p.Blocks {
-		if err := checkBlock(bp); err != nil {
+		if err := checkTransfers(bp.Stmts, bp.Transfers, AnalyzeBlock(bp.Stmts)); err != nil {
 			return fmt.Errorf("block %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-func checkBlock(bp *BlockPlan) error {
-	stmts := bp.Stmts
-	lastDefBefore := func(a *ir.ArraySym, pos int) int {
-		for j := pos - 1; j >= 0; j-- {
-			if stmtDef(stmts[j]) == a {
-				return j
-			}
-		}
-		return -1
-	}
-
-	for _, t := range bp.Transfers {
+// checkTransfers verifies one block's transfer list — final or
+// intermediate — against the block analysis.
+func checkTransfers(stmts []ir.Stmt, transfers []*Transfer, an *BlockAnalysis) error {
+	for _, t := range transfers {
 		if t.Hoisted {
 			// Delivered before the loop; nothing it carries may be written
 			// anywhere in the loop, which the hoister guarantees — verify
 			// the block-local part of that here.
 			for _, a := range t.Items {
-				for j := range stmts {
-					if stmtDef(stmts[j]) == a {
-						return fmt.Errorf("%v: hoisted transfer's array %s written at stmt %d", t, a.Name, j)
-					}
+				if j := an.NextDefFrom(a, 0); j < len(stmts) {
+					return fmt.Errorf("%v: hoisted transfer's array %s written at stmt %d", t, a.Name, j)
 				}
 			}
 			continue
@@ -60,22 +54,20 @@ func checkBlock(bp *BlockPlan) error {
 			return fmt.Errorf("%v: SV=%d outside [SR=%d, end]", t, t.SVPos, t.SRPos)
 		}
 		for _, a := range t.Items {
-			for j := t.SRPos; j < t.SVPos && j < len(stmts); j++ {
-				if stmtDef(stmts[j]) == a {
-					return fmt.Errorf("%v: array %s written at stmt %d while in flight (SR=%d, SV=%d)", t, a.Name, j, t.SRPos, t.SVPos)
-				}
+			if j := an.NextDefFrom(a, t.SRPos); j < t.SVPos && j < len(stmts) {
+				return fmt.Errorf("%v: array %s written at stmt %d while in flight (SR=%d, SV=%d)", t, a.Name, j, t.SRPos, t.SVPos)
 			}
 		}
 	}
 
 	// Every communicating use must be covered by a fresh transfer.
 	for i, s := range stmts {
-		reg := stmtRegion(s)
-		for _, u := range stmtUses(s) {
+		reg := ir.RegionOf(s)
+		for _, u := range ir.UsesOf(s) {
 			if !u.NeedsComm() {
 				continue
 			}
-			if !covered(bp, u, reg, i, lastDefBefore) {
+			if !covered(transfers, an, u, reg, i) {
 				return fmt.Errorf("stmt %d: use %v has no fresh covering transfer", i, u)
 			}
 		}
@@ -83,15 +75,15 @@ func checkBlock(bp *BlockPlan) error {
 	return nil
 }
 
-func covered(bp *BlockPlan, u ir.ArrayUse, reg ir.RegionExpr, useIdx int, lastDefBefore func(*ir.ArraySym, int) int) bool {
-	for _, t := range bp.Transfers {
+func covered(transfers []*Transfer, an *BlockAnalysis, u ir.ArrayUse, reg ir.RegionExpr, useIdx int) bool {
+	for _, t := range transfers {
 		if t.Offset != u.Off || !t.Carries(u.Array) || !regionsCompatible(t.Region, reg) {
 			continue
 		}
 		if t.Hoisted {
 			// Hoisted data is current as long as the array has no block-
 			// local definitions before the use (none exist loop-wide).
-			if lastDefBefore(u.Array, useIdx) == -1 {
+			if an.LastDefBefore(u.Array, useIdx) == -1 {
 				return true
 			}
 			continue
@@ -101,7 +93,7 @@ func covered(bp *BlockPlan, u ir.ArrayUse, reg ir.RegionExpr, useIdx int, lastDe
 		}
 		// Freshness: the values captured at the send point must equal the
 		// values current at the use, i.e. no intervening definition.
-		if d := lastDefBefore(u.Array, useIdx); d >= t.SRPos {
+		if an.LastDefBefore(u.Array, useIdx) >= t.SRPos {
 			continue
 		}
 		return true

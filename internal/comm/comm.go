@@ -1,9 +1,13 @@
 // Package comm implements the paper's machine-independent communication
-// optimizer: message-vectorized baseline generation, redundant
-// communication removal, communication combination (with the
-// maximize-combining and maximize-latency-hiding heuristics) and
-// communication pipelining, together with IRONMAN call placement, static
-// count accounting and an independent plan validity checker.
+// optimizer as an instrumented pass pipeline: message-vectorized baseline
+// generation (pass_emit.go), redundant communication removal
+// (pass_rr.go), communication combination with the maximize-combining and
+// maximize-latency-hiding heuristics (pass_cc.go), communication
+// pipelining (pass_pl.go) and loop-invariant hoisting (pass_hoist.go),
+// all running over a shared per-block dataflow analysis (analysis.go),
+// together with IRONMAN call placement, per-pass trace accounting
+// (pipeline.go), static count accounting and an independent plan validity
+// checker (check.go).
 //
 // The optimizer's scope is a single source-level basic block: a maximal
 // straight-line run of whole-array statements. Control statements bound
@@ -12,7 +16,6 @@ package comm
 
 import (
 	"fmt"
-	"sort"
 
 	"commopt/internal/grid"
 	"commopt/internal/ir"
@@ -42,7 +45,8 @@ func (h Heuristic) String() string {
 
 // Options selects which optimizations the planner applies. The zero value
 // is the paper's baseline: naive communication generation with message
-// vectorization only.
+// vectorization only. Each enabled optimization becomes one stage of the
+// pass pipeline (see pipeline.go).
 type Options struct {
 	RemoveRedundant bool
 	Combine         bool
@@ -51,7 +55,7 @@ type Options struct {
 
 	// HoistInvariant enables the cross-block extension: transfers whose
 	// data is identical on every iteration of an enclosing loop execute
-	// once in the loop's preheader (see hoist.go).
+	// once in the loop's preheader (see pass_hoist.go).
 	HoistInvariant bool
 
 	// CombineLimitBytes caps the estimated size of a combined transfer
@@ -70,7 +74,9 @@ func Baseline() Options { return Options{} }
 func RR() Options { return Options{RemoveRedundant: true} }
 
 // CC returns RR plus communication combination.
-func CC() Options { return Options{RemoveRedundant: true, Combine: true} }
+func CC() Options {
+	return Options{RemoveRedundant: true, Combine: true}
+}
 
 // PL returns CC plus communication pipelining.
 func PL() Options {
@@ -185,6 +191,8 @@ type Plan struct {
 	Program *ir.Program
 	Options Options
 	Blocks  []*BlockPlan
+	// Trace records what each pipeline pass did while building the plan.
+	Trace *Trace
 	// blockByFirst keys each block by its first statement so the runtime
 	// can find it while walking the same structured bodies.
 	blockByFirst map[ir.Stmt]*BlockPlan
@@ -204,15 +212,6 @@ type Segment struct {
 	Control ir.Stmt   // non-nil for a control statement
 }
 
-// isStraightLine reports whether s belongs inside a basic block.
-func isStraightLine(s ir.Stmt) bool {
-	switch s.(type) {
-	case *ir.AssignArray, *ir.AssignScalar, *ir.Write:
-		return true
-	}
-	return false
-}
-
 // SplitSegments partitions a structured body into basic blocks and control
 // statements, preserving order. The runtime and the planner share this so
 // their views of block boundaries always agree.
@@ -226,7 +225,7 @@ func SplitSegments(body []ir.Stmt) []Segment {
 		}
 	}
 	for _, s := range body {
-		if isStraightLine(s) {
+		if ir.IsStraightLine(s) {
 			run = append(run, s)
 			continue
 		}
@@ -237,327 +236,18 @@ func SplitSegments(body []ir.Stmt) []Segment {
 	return out
 }
 
-// BuildPlan runs the optimizer over every basic block of every procedure
-// and returns the program's communication plan.
+// BuildPlan runs the optimization pipeline selected by opts over every
+// basic block of every procedure and returns the program's communication
+// plan. It is the convenience entry point; use NewPipeline or PipelineFor
+// directly for per-pass control, tracing and debug-mode inter-pass
+// validity checking.
 func BuildPlan(prog *ir.Program, opts Options) *Plan {
-	p := &Plan{
-		Program:      prog,
-		Options:      opts,
-		blockByFirst: map[ir.Stmt]*BlockPlan{},
-		preheader:    map[ir.Stmt][]*Transfer{},
-	}
-	for _, proc := range prog.Procs {
-		p.planBody(proc.Body, nil)
-	}
-	if opts.HoistInvariant {
-		for _, proc := range prog.Procs {
-			p.hoistInvariant(proc.Body)
-		}
-	}
-	for _, b := range p.Blocks {
-		p.StaticCount += len(b.Transfers)
+	p, err := NewPipeline(opts).Build(prog)
+	if err != nil {
+		// Build only fails in Debug mode, which NewPipeline leaves off.
+		panic("comm: " + err.Error())
 	}
 	return p
-}
-
-// planBody plans every basic block of a structured body. killed is the
-// innermost enclosing loop's kill set (arrays it assigns anywhere), used
-// only when the hoisting extension is enabled, so combining keeps
-// loop-invariant transfers separable from loop-variant ones.
-func (p *Plan) planBody(body []ir.Stmt, killed map[*ir.ArraySym]bool) {
-	loopBody := func(b []ir.Stmt) {
-		var inner map[*ir.ArraySym]bool
-		if p.Options.HoistInvariant {
-			inner = map[*ir.ArraySym]bool{}
-			collectDefs(b, inner)
-		}
-		p.planBody(b, inner)
-	}
-	for _, seg := range SplitSegments(body) {
-		if seg.Block != nil {
-			bp := planBlock(seg.Block, p.Options, killed)
-			p.Blocks = append(p.Blocks, bp)
-			p.blockByFirst[seg.Block[0]] = bp
-			continue
-		}
-		switch s := seg.Control.(type) {
-		case *ir.If:
-			p.planBody(s.Then, killed)
-			p.planBody(s.Else, killed)
-		case *ir.Repeat:
-			loopBody(s.Body)
-		case *ir.While:
-			loopBody(s.Body)
-		case *ir.For:
-			loopBody(s.Body)
-		case *ir.Call:
-			// Callee bodies are planned once, with their own procedure.
-		default:
-			panic(fmt.Sprintf("comm: unexpected control stmt %T", s))
-		}
-	}
-}
-
-// stmtUses returns the array uses of a straight-line statement.
-func stmtUses(s ir.Stmt) []ir.ArrayUse {
-	switch s := s.(type) {
-	case *ir.AssignArray:
-		return s.Uses
-	case *ir.AssignScalar:
-		return s.Uses
-	}
-	return nil
-}
-
-// stmtDef returns the array defined by a straight-line statement, or nil.
-func stmtDef(s ir.Stmt) *ir.ArraySym {
-	if a, ok := s.(*ir.AssignArray); ok {
-		return a.LHS
-	}
-	return nil
-}
-
-// stmtRegion returns the region an array statement executes over.
-func stmtRegion(s ir.Stmt) ir.RegionExpr {
-	switch s := s.(type) {
-	case *ir.AssignArray:
-		return s.Region
-	case *ir.AssignScalar:
-		return s.Region
-	}
-	return ir.RegionExpr{}
-}
-
-// stmtFlops returns the per-element cost estimate used as the
-// latency-hiding distance weight.
-func stmtFlops(s ir.Stmt) int {
-	switch s := s.(type) {
-	case *ir.AssignArray:
-		return s.Flops
-	case *ir.AssignScalar:
-		return s.Flops
-	}
-	return 0
-}
-
-// planBlock applies the selected optimizations to one basic block.
-// killed (nil unless hoisting is enabled inside a loop) lists the arrays
-// the innermost enclosing loop assigns.
-func planBlock(stmts []ir.Stmt, opts Options, killed map[*ir.ArraySym]bool) *BlockPlan {
-	bp := &BlockPlan{Stmts: stmts}
-	// A transfer is hoist-eligible when its region is static and nothing
-	// it carries is assigned in the enclosing loop. Combining must not mix
-	// eligible and ineligible items, or the merge would pin invariant data
-	// inside the loop.
-	eligible := func(t *Transfer) bool {
-		if killed == nil || t.Region.Sym == nil {
-			return false
-		}
-		for _, a := range t.Items {
-			if killed[a] {
-				return false
-			}
-		}
-		return true
-	}
-
-	// lastDefBefore[i] maps an array to the index of its last definition
-	// at a statement index < i (-1 if none).
-	lastDef := func(a *ir.ArraySym, before int) int {
-		for j := before - 1; j >= 0; j-- {
-			if stmtDef(stmts[j]) == a {
-				return j
-			}
-		}
-		return -1
-	}
-
-	// 1. Gather communication requirements, applying redundancy removal
-	// on the fly when enabled.
-	type key struct {
-		a   *ir.ArraySym
-		off grid.Offset
-		reg ir.RegionExpr // cached data covers this statement region only
-	}
-	cached := map[key]bool{}
-	var transfers []*Transfer
-	id := 0
-	for i, s := range stmts {
-		for _, u := range stmtUses(s) {
-			if !u.NeedsComm() {
-				continue
-			}
-			k := key{u.Array, u.Off, stmtRegion(s)}
-			if opts.RemoveRedundant && cached[k] {
-				continue
-			}
-			cached[k] = true
-			t := &Transfer{
-				ID:     id,
-				Offset: u.Off,
-				Items:  []*ir.ArraySym{u.Array},
-				Region: stmtRegion(s),
-				UseIdx: i,
-			}
-			id++
-			transfers = append(transfers, t)
-		}
-		if d := stmtDef(s); d != nil {
-			// A write invalidates every cached offset of the array.
-			for k := range cached {
-				if k.a == d {
-					delete(cached, k)
-				}
-			}
-		}
-	}
-
-	// weight measures computation between two positions, the
-	// latency-hiding "distance" of the paper, in per-element flops.
-	weight := func(from, to int) int {
-		w := 0
-		for j := from; j < to && j < len(stmts); j++ {
-			w += stmtFlops(stmts[j])
-		}
-		return w
-	}
-	// sendPoint is the earliest legal send position of a transfer: just
-	// after the latest definition of any carried array before its use.
-	sendPoint := func(t *Transfer) int {
-		sp := 0
-		for _, it := range t.Items {
-			if d := lastDef(it, t.UseIdx) + 1; d > sp {
-				sp = d
-			}
-		}
-		return sp
-	}
-
-	// 2. Communication combination.
-	if opts.Combine {
-		var groups []*Transfer
-		for _, t := range transfers {
-			merged := false
-			for _, g := range groups {
-				if g.Offset != t.Offset || !regionsCompatible(g.Region, t.Region) {
-					continue
-				}
-				if opts.HoistInvariant && eligible(g) != eligible(t) {
-					continue
-				}
-				// Legality: every value t carries must be unchanged between
-				// the group's position (its earliest use) and t's use.
-				if lastDef(t.Items[0], t.UseIdx) >= g.UseIdx {
-					continue
-				}
-				if g.Carries(t.Items[0]) {
-					// Same array, same offset, still valid at t's use: the
-					// group already delivers it (only reachable without rr).
-					merged = true
-					break
-				}
-				if opts.Heuristic == MaxLatencyHiding {
-					// "Messages are only combined until the distance between
-					// the combined send and receives is no smaller than any
-					// of the distances of the uncombined communication":
-					// merging must not shrink any member's latency-hiding
-					// window.
-					sg, st := sendPoint(g), sendPoint(t)
-					dg := weight(sg, g.UseIdx)
-					dt := weight(st, t.UseIdx)
-					dm := weight(max(sg, st), min(g.UseIdx, t.UseIdx))
-					dmax := dg
-					if dt > dmax {
-						dmax = dt
-					}
-					if dm < dmax {
-						continue
-					}
-				}
-				if opts.CombineLimitBytes > 0 && opts.EstimateBytes != nil {
-					size := opts.EstimateBytes(t.Items[0], t.Offset)
-					for _, it := range g.Items {
-						size += opts.EstimateBytes(it, g.Offset)
-					}
-					if size > opts.CombineLimitBytes {
-						continue
-					}
-				}
-				g.Items = append(g.Items, t.Items[0])
-				merged = true
-				break
-			}
-			if !merged {
-				groups = append(groups, t)
-			}
-		}
-		transfers = groups
-	}
-
-	// 3. Placement: pipelined or synchronous.
-	for _, t := range transfers {
-		if opts.Pipeline {
-			sp := sendPoint(t)
-			if sp > t.UseIdx {
-				sp = t.UseIdx
-			}
-			t.SRPos, t.DRPos, t.DNPos = sp, sp, t.UseIdx
-		} else {
-			t.SRPos, t.DRPos, t.DNPos = t.UseIdx, t.UseIdx, t.UseIdx
-		}
-		// SV: before the next write to any carried array at or after the
-		// send, or the block end.
-		sv := len(stmts)
-		for _, it := range t.Items {
-			for j := t.SRPos; j < len(stmts); j++ {
-				if stmtDef(stmts[j]) == it && j < sv {
-					sv = j
-				}
-			}
-		}
-		if sv < t.DNPos {
-			// The source must also survive until the data is consumed on
-			// our side of the SPMD call sequence; SV never precedes DN.
-			sv = t.DNPos
-		}
-		t.SVPos = sv
-	}
-
-	// Renumber and emit calls.
-	sort.SliceStable(transfers, func(i, j int) bool {
-		if transfers[i].SRPos != transfers[j].SRPos {
-			return transfers[i].SRPos < transfers[j].SRPos
-		}
-		return transfers[i].ID < transfers[j].ID
-	})
-	for i, t := range transfers {
-		t.ID = i
-	}
-	bp.Transfers = transfers
-	bp.Calls = make([][]Call, len(stmts)+1)
-	for _, k := range []CallKind{DR, SR, DN, SV} {
-		for _, t := range transfers {
-			pos := 0
-			switch k {
-			case DR:
-				pos = t.DRPos
-			case SR:
-				pos = t.SRPos
-			case DN:
-				pos = t.DNPos
-			case SV:
-				pos = t.SVPos
-			}
-			bp.Calls[pos] = append(bp.Calls[pos], Call{Kind: k, T: t})
-		}
-	}
-	// Within a position the emission order above already yields all DRs,
-	// then SRs, then DNs, then SVs — the deadlock-free order (no blocking
-	// call waits on a later call in the same global SPMD sequence).
-	for _, calls := range bp.Calls {
-		sort.SliceStable(calls, func(i, j int) bool { return calls[i].Kind < calls[j].Kind })
-	}
-	return bp
 }
 
 // regionsCompatible reports whether two statement regions are provably the
@@ -577,18 +267,4 @@ func regionsCompatible(a, b ir.RegionExpr) bool {
 		}
 	}
 	return true
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -41,9 +41,33 @@ func stmt(lhs *ir.ArraySym, flops int, uses ...ir.ArrayUse) *ir.AssignArray {
 
 func use(a *ir.ArraySym, off grid.Offset) ir.ArrayUse { return ir.ArrayUse{Array: a, Off: off} }
 
+// blockOf runs the pipeline for opts over one block, with inter-pass
+// validity checking enabled.
+func blockOf(t *testing.T, stmts []ir.Stmt, opts Options) (*BlockPlan, *Trace) {
+	t.Helper()
+	pl := NewPipeline(opts)
+	pl.Debug = true
+	bp, tr, err := pl.PlanBlock(stmts, nil)
+	if err != nil {
+		t.Fatalf("pipeline failed under %v: %v", opts, err)
+	}
+	return bp, tr
+}
+
+// mustBlock builds a block schedule without inter-pass checking, for
+// tests that corrupt the result before handing it to CheckPlan.
+func mustBlock(t *testing.T, stmts []ir.Stmt, opts Options) *BlockPlan {
+	t.Helper()
+	bp, _, err := NewPipeline(opts).PlanBlock(stmts, nil)
+	if err != nil {
+		t.Fatalf("pipeline failed under %v: %v", opts, err)
+	}
+	return bp
+}
+
 func planOf(t *testing.T, stmts []ir.Stmt, opts Options) *BlockPlan {
 	t.Helper()
-	bp := planBlock(stmts, opts, nil)
+	bp, _ := blockOf(t, stmts, opts)
 	plan := &Plan{Blocks: []*BlockPlan{bp}}
 	if err := CheckPlan(plan); err != nil {
 		t.Fatalf("plan invalid under %v: %v", opts, err)
@@ -199,7 +223,7 @@ func TestMaxLatencyKeepsEqualWindows(t *testing.T) {
 func TestCheckPlanCatchesLateDelivery(t *testing.T) {
 	as := arrays("A", "B")
 	stmts := []ir.Stmt{stmt(as["A"], 2, use(as["B"], east))}
-	bp := planBlock(stmts, Baseline(), nil)
+	bp := mustBlock(t, stmts, Baseline())
 	bp.Transfers[0].DNPos = 1 // delivered after the use
 	if err := CheckPlan(&Plan{Blocks: []*BlockPlan{bp}}); err == nil {
 		t.Fatal("CheckPlan accepted a transfer delivered after its use")
@@ -212,7 +236,7 @@ func TestCheckPlanCatchesStaleSend(t *testing.T) {
 		stmt(as["B"], 1),
 		stmt(as["C"], 2, use(as["B"], east)),
 	}
-	bp := planBlock(stmts, PL(), nil)
+	bp := mustBlock(t, stmts, PL())
 	bp.Transfers[0].SRPos = 0 // captured before B's definition: stale
 	bp.Transfers[0].DRPos = 0
 	if err := CheckPlan(&Plan{Blocks: []*BlockPlan{bp}}); err == nil {
@@ -226,7 +250,7 @@ func TestCheckPlanCatchesInFlightOverwrite(t *testing.T) {
 		stmt(as["C"], 2, use(as["B"], east)),
 		stmt(as["B"], 1),
 	}
-	bp := planBlock(stmts, PL(), nil)
+	bp := mustBlock(t, stmts, PL())
 	bp.Transfers[0].SVPos = 2 // SV after B's overwrite
 	if err := CheckPlan(&Plan{Blocks: []*BlockPlan{bp}}); err == nil {
 		t.Fatal("CheckPlan accepted an in-flight overwrite")
@@ -283,8 +307,10 @@ func buildRandomBlock(seed int64) []ir.Stmt {
 }
 
 // TestPlanPropertyValidity: every optimization subset yields a valid plan
-// on arbitrary blocks, and the count relationships of the paper hold:
-// baseline >= rr >= max-latency >= max-combining, and pipelining never
+// on arbitrary blocks — checked after *every* pipeline stage, not just
+// the final plan — and the count relationships of the paper hold:
+// baseline >= rr >= max-latency >= max-combining, the static count never
+// increases across the rr→cc stage boundary, and pipelining never
 // changes the transfer count.
 func TestPlanPropertyValidity(t *testing.T) {
 	prop := func(spec blockSpec) bool {
@@ -296,14 +322,54 @@ func TestPlanPropertyValidity(t *testing.T) {
 			{Combine: true, Pipeline: true, Heuristic: MaxLatencyHiding},
 		}
 		for _, opts := range append(append([]Options{}, canonical...), extra...) {
-			bp := planBlock(stmts, opts, nil)
+			// Debug mode re-runs the validity checker after every stage, so
+			// any intermediate breakage surfaces as a per-pass error here.
+			pl := NewPipeline(opts)
+			pl.Debug = true
+			bp, tr, err := pl.PlanBlock(stmts, nil)
+			if err != nil {
+				t.Logf("seed %d opts %+v: %v", spec.Seed, opts, err)
+				return false
+			}
 			if err := CheckPlan(&Plan{Blocks: []*BlockPlan{bp}}); err != nil {
 				t.Logf("seed %d opts %+v: %v", spec.Seed, opts, err)
 				return false
 			}
+			// The trace must account for the block exactly: each stage's
+			// After is the next stage's Before, and the last stage's After
+			// is the final transfer count.
+			for i, pt := range tr.Passes {
+				if i > 0 && pt.Before != tr.Passes[i-1].After {
+					t.Logf("seed %d opts %+v: trace discontinuity at %s: %+v", spec.Seed, opts, pt.Pass, tr.Passes)
+					return false
+				}
+			}
+			if tr.Final() != len(bp.Transfers) {
+				t.Logf("seed %d opts %+v: trace final %d != %d transfers", spec.Seed, opts, tr.Final(), len(bp.Transfers))
+				return false
+			}
+			// Static counts are monotonically non-increasing across the
+			// rr→cc stage boundary (cc only ever drops or merges).
+			if cc := tr.ByName("cc"); cc != nil && cc.After > cc.Before {
+				t.Logf("seed %d opts %+v: cc grew the count %d -> %d", spec.Seed, opts, cc.Before, cc.After)
+				return false
+			}
+			if rr := tr.ByName("rr"); rr != nil && rr.After > rr.Before {
+				t.Logf("seed %d opts %+v: rr grew the count %d -> %d", spec.Seed, opts, rr.Before, rr.After)
+				return false
+			}
 		}
 		for _, opts := range canonical {
-			counts[opts.String()] = len(planBlock(stmts, opts, nil).Transfers)
+			bp, tr, err := NewPipeline(opts).PlanBlock(stmts, nil)
+			if err != nil {
+				t.Logf("seed %d opts %+v: %v", spec.Seed, opts, err)
+				return false
+			}
+			if tr.ByName("emit").After != len(planEmitOnly(stmts)) {
+				t.Logf("seed %d: emit trace disagrees with baseline emission", spec.Seed)
+				return false
+			}
+			counts[opts.String()] = len(bp.Transfers)
 		}
 		if counts["rr"] > counts["baseline"] || counts["cc"] > counts["rr"] {
 			t.Logf("seed %d: counts not monotone: %v", spec.Seed, counts)
@@ -322,6 +388,16 @@ func TestPlanPropertyValidity(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// planEmitOnly returns the transfers of the bare emit stage, the
+// reference for the trace's baseline count.
+func planEmitOnly(stmts []ir.Stmt) []*Transfer {
+	bp, _, err := NewPipeline(Baseline()).PlanBlock(stmts, nil)
+	if err != nil {
+		panic(err)
+	}
+	return bp.Transfers
 }
 
 // TestCombineLimitBytes: the knee-cap extension keeps combined transfers

@@ -1,0 +1,33 @@
+package comm
+
+import "commopt/internal/ir"
+
+// emitPass is the message-vectorized baseline: one transfer per
+// communicating (array, offset) use of every statement, placed
+// synchronously immediately before its use. It is the mandatory first
+// stage — every later pass refines the transfer list it emits.
+type emitPass struct{}
+
+func (emitPass) Name() string { return "emit" }
+
+func (emitPass) Run(c *BlockContext) {
+	for i, s := range c.Stmts {
+		reg := ir.RegionOf(s)
+		for _, u := range ir.UsesOf(s) {
+			if !u.NeedsComm() {
+				continue
+			}
+			t := &Transfer{
+				ID:     c.nextID,
+				Offset: u.Off,
+				Items:  []*ir.ArraySym{u.Array},
+				Region: reg,
+				UseIdx: i,
+			}
+			c.nextID++
+			placeSync(c, t)
+			c.Transfers = append(c.Transfers, t)
+			c.Stats.Emitted++
+		}
+	}
+}

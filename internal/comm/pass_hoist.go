@@ -4,12 +4,16 @@ import (
 	"commopt/internal/ir"
 )
 
-// Loop-invariant communication hoisting: the paper's Section 4 direction
-// of applying optimizations "across basic block boundaries". A transfer
-// inside a loop body whose carried arrays are never written anywhere in
-// the loop, and whose region is static, delivers identical data every
-// iteration — so it executes once, immediately before the loop, instead
-// of once per iteration.
+// hoistPass is loop-invariant communication hoisting: the paper's
+// Section 4 direction of applying optimizations "across basic block
+// boundaries". A transfer inside a loop body whose carried arrays are
+// never written anywhere in the loop, and whose region is static,
+// delivers identical data every iteration — so it executes once,
+// immediately before the loop, instead of once per iteration.
+//
+// Unlike the block passes it transforms the whole plan, after every
+// block is built, because it needs the loop structure around blocks; the
+// pipeline runs it as its final, program-level stage.
 //
 // The rule is conservative (no data-flow lattice, just whole-loop kill
 // sets) and interacts with combining: an invariant transfer may not merge
@@ -20,6 +24,18 @@ import (
 // default, exactly the
 // kind of machine/application tailoring the paper's Section 4 proposes
 // studying.
+type hoistPass struct{}
+
+func (hoistPass) Name() string { return "hoist" }
+
+// RunProgram hoists every invariant transfer of the plan and returns how
+// many moved to loop preheaders.
+func (hoistPass) RunProgram(p *Plan) int {
+	for _, proc := range p.Program.Procs {
+		p.hoistInvariant(proc.Body)
+	}
+	return p.HoistedCount()
+}
 
 // hoistInvariant scans a structured body and, for each loop, marks the
 // hoistable transfers of the loop body's directly nested blocks and
@@ -59,20 +75,15 @@ func (p *Plan) hoistLoop(loop ir.Stmt, body []ir.Stmt) {
 		if bp == nil {
 			continue
 		}
-		var kept []*Transfer
+		// Hoisted transfers stay listed on the block: they still cover its
+		// uses and count once statically; only their calls move out.
 		for _, t := range bp.Transfers {
 			if p.transferInvariant(t, killed) {
 				t.Hoisted = true
 				p.preheader[loop] = append(p.preheader[loop], t)
 				removeCalls(bp, t)
-				continue
 			}
-			kept = append(kept, t)
 		}
-		// Hoisted transfers stay listed on the block (they still cover its
-		// uses and count once statically); kept is only used to decide
-		// whether anything changed.
-		_ = kept
 	}
 }
 

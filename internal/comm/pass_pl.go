@@ -1,0 +1,59 @@
+package comm
+
+// plPass is communication pipelining: the send point (SR, with DR
+// alongside) hoists to just after the last write of any carried array,
+// the receive point (DN) sinks to just before the first use, and SV
+// lands before the next write to a carried array — splitting each
+// transfer across the largest legal latency-hiding window. Without this
+// pass, transfers keep the synchronous placement emit and cc give them.
+//
+// This file also owns the placement primitives the other passes share.
+type plPass struct{}
+
+func (plPass) Name() string { return "pl" }
+
+func (plPass) Run(c *BlockContext) {
+	for _, t := range c.Transfers {
+		sp := min(sendPoint(c, t), t.UseIdx)
+		if sp != t.SRPos {
+			c.Stats.Moved++
+		}
+		t.SRPos, t.DRPos, t.DNPos = sp, sp, t.UseIdx
+		t.SVPos = svPoint(c, t)
+	}
+}
+
+// sendPoint is the earliest legal send position of a transfer: just
+// after the latest definition of any carried array before its use.
+func sendPoint(c *BlockContext, t *Transfer) int {
+	sp := 0
+	for _, it := range t.Items {
+		if d := c.Analysis.LastDefBefore(it, t.UseIdx) + 1; d > sp {
+			sp = d
+		}
+	}
+	return sp
+}
+
+// svPoint places SV before the next write to any carried array at or
+// after the send, or the block end; the source must also survive until
+// the data is consumed on our side of the SPMD call sequence, so SV
+// never precedes DN.
+func svPoint(c *BlockContext, t *Transfer) int {
+	sv := len(c.Stmts)
+	for _, it := range t.Items {
+		if d := c.Analysis.NextDefFrom(it, t.SRPos); d < sv {
+			sv = d
+		}
+	}
+	return max(sv, t.DNPos)
+}
+
+// placeSync gives a transfer the synchronous (non-pipelined) placement:
+// DR, SR and DN contiguous immediately before the use. emit places every
+// new transfer this way and cc re-places merged groups, so the plan is
+// valid after every stage.
+func placeSync(c *BlockContext, t *Transfer) {
+	t.SRPos, t.DRPos, t.DNPos = t.UseIdx, t.UseIdx, t.UseIdx
+	t.SVPos = svPoint(c, t)
+}

@@ -1,0 +1,38 @@
+package comm
+
+import (
+	"commopt/internal/grid"
+	"commopt/internal/ir"
+)
+
+// rrPass is redundant communication removal: walking the block in order,
+// a transfer is dropped when a kept transfer already delivered the same
+// (array, offset, region) and the array has not been written since — the
+// cached ghost data is still current at the later use.
+type rrPass struct{}
+
+func (rrPass) Name() string { return "rr" }
+
+func (rrPass) Run(c *BlockContext) {
+	type key struct {
+		a   *ir.ArraySym
+		off grid.Offset
+		reg ir.RegionExpr // cached data covers this statement region only
+	}
+	cached := map[key]*Transfer{}
+	kept := c.Transfers[:0]
+	for _, t := range c.Transfers {
+		k := key{t.Items[0], t.Offset, t.Region}
+		// Fresh iff the array has no definition between the cached
+		// transfer's use and this one (a definition at the cached use's own
+		// statement invalidates too: uses execute before the statement's
+		// write, so LastDefBefore excludes only defs at t's own statement).
+		if g := cached[k]; g != nil && c.Analysis.LastDefBefore(t.Items[0], t.UseIdx) < g.UseIdx {
+			c.Stats.Dropped++
+			continue
+		}
+		cached[k] = t
+		kept = append(kept, t)
+	}
+	c.Transfers = kept
+}

@@ -141,8 +141,10 @@ func (r *Runner) Cell(benchName, expKey string) (Cell, error) {
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s/%s: %w", benchName, expKey, err)
 	}
+	// The static count comes off the pipeline trace: the final pass's
+	// output count, which Build also records as plan.StaticCount.
 	cell := Cell{
-		Static:   plan.StaticCount,
+		Static:   plan.Trace.Final(),
 		Dynamic:  res.DynamicTransfers,
 		Time:     res.ExecTime,
 		Messages: res.Messages,

@@ -1,0 +1,61 @@
+package ir
+
+// Statement accessors shared by the communication optimizer and its plan
+// validity checker: a single definition of which statements belong in a
+// source-level basic block and what each one defines, uses, covers and
+// costs. The comm package's block analyses are built entirely from these.
+
+// IsStraightLine reports whether s may appear inside a source-level basic
+// block. Control statements bound blocks; their bodies are optimized
+// recursively.
+func IsStraightLine(s Stmt) bool {
+	switch s.(type) {
+	case *AssignArray, *AssignScalar, *Write:
+		return true
+	}
+	return false
+}
+
+// UsesOf returns the distinct array uses of a straight-line statement
+// (nil for statements without array reads).
+func UsesOf(s Stmt) []ArrayUse {
+	switch s := s.(type) {
+	case *AssignArray:
+		return s.Uses
+	case *AssignScalar:
+		return s.Uses
+	}
+	return nil
+}
+
+// DefOf returns the array a straight-line statement defines, or nil.
+func DefOf(s Stmt) *ArraySym {
+	if a, ok := s.(*AssignArray); ok {
+		return a.LHS
+	}
+	return nil
+}
+
+// RegionOf returns the region an array statement executes over (the zero
+// RegionExpr for statements without one).
+func RegionOf(s Stmt) RegionExpr {
+	switch s := s.(type) {
+	case *AssignArray:
+		return s.Region
+	case *AssignScalar:
+		return s.Region
+	}
+	return RegionExpr{}
+}
+
+// FlopsOf returns the statement's per-element cost estimate, the
+// latency-hiding distance weight of the optimizer.
+func FlopsOf(s Stmt) int {
+	switch s := s.(type) {
+	case *AssignArray:
+		return s.Flops
+	case *AssignScalar:
+		return s.Flops
+	}
+	return 0
+}

@@ -22,6 +22,7 @@ import (
 	"commopt/internal/ir"
 	"commopt/internal/programs"
 	"commopt/internal/report"
+	"commopt/internal/vet"
 	"commopt/internal/zpl"
 )
 
@@ -45,6 +46,7 @@ type config struct {
 	dump    bool
 	counts  bool
 	explain bool
+	vet     bool
 	bench   string
 	inline  bool
 	hoist   bool
@@ -70,6 +72,7 @@ func parseArgs(args []string) (*config, error) {
 	fs.BoolVar(&cfg.dump, "dump", false, "dump every basic block's transfers and call placements")
 	fs.BoolVar(&cfg.counts, "counts", false, "print static counts under every optimization level")
 	fs.BoolVar(&cfg.explain, "explain", false, "print the per-pass pipeline trace (what each pass emitted, dropped, merged, moved)")
+	fs.BoolVar(&cfg.vet, "vet", false, "run the static-analysis suite (lint + plan verification, like zplvet) and fail on findings")
 	fs.StringVar(&cfg.bench, "bench", "", "compile a bundled benchmark (tomcatv, swm, simple, sp) instead of a file")
 	fs.BoolVar(&cfg.inline, "inline", false, "inline procedure calls before communication analysis (Section 4 extension)")
 	fs.BoolVar(&cfg.hoist, "hoist", false, "hoist loop-invariant communication to loop preheaders (Section 4 extension)")
@@ -144,9 +147,26 @@ func run(w io.Writer, cfg *config) error {
 		src, name = string(data), cfg.file
 	}
 
-	ast, err := zpl.Parse(src)
-	if err != nil {
-		return fmt.Errorf("%s: %w", name, err)
+	if cfg.vet {
+		list := vet.Source(name, src)
+		list.Text(w, true)
+		if !list.Empty() {
+			return fmt.Errorf("%s: vet reported %d findings", name, len(list.Findings))
+		}
+	}
+
+	ast, perrs := zpl.ParseAll(src)
+	if len(perrs) > 0 {
+		// The recovering parser reports every syntax error, not just the
+		// first; surface them all before giving up.
+		var b strings.Builder
+		for i, e := range perrs {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "%s:%v", name, e)
+		}
+		return fmt.Errorf("%s", b.String())
 	}
 	prog, err := ir.Lower(ast)
 	if err != nil {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -17,6 +20,7 @@ func TestParseArgsValid(t *testing.T) {
 			config{level: "pl", bench: "swm", dump: true, inline: true, hoist: true}},
 		{[]string{"-passes", "emit, rr ,pl", "-bench", "sp"},
 			config{level: "pl", bench: "sp", passes: []string{"emit", "rr", "pl"}}},
+		{[]string{"-vet", "-bench", "simple"}, config{level: "pl", bench: "simple", vet: true}},
 	}
 	for _, c := range cases {
 		got, err := parseArgs(c.args)
@@ -25,7 +29,8 @@ func TestParseArgsValid(t *testing.T) {
 			continue
 		}
 		if got.level != c.want.level || got.dump != c.want.dump || got.counts != c.want.counts ||
-			got.explain != c.want.explain || got.bench != c.want.bench || got.inline != c.want.inline ||
+			got.explain != c.want.explain || got.vet != c.want.vet ||
+			got.bench != c.want.bench || got.inline != c.want.inline ||
 			got.hoist != c.want.hoist || got.file != c.want.file ||
 			strings.Join(got.passes, ",") != strings.Join(c.want.passes, ",") {
 			t.Errorf("parseArgs(%v) = %+v, want %+v", c.args, *got, c.want)
@@ -77,6 +82,86 @@ func TestPipelineForRejectsBadPassFlag(t *testing.T) {
 		} else if !strings.Contains(err.Error(), c.wantErr) {
 			t.Errorf("-passes %s error %q does not mention %q", c.passes, err, c.wantErr)
 		}
+	}
+}
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.zpl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// -vet on a clean benchmark reports nothing and the normal compilation
+// output follows.
+func TestRunVetCleanBench(t *testing.T) {
+	cfg, err := parseArgs([]string{"-vet", "-bench", "simple"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, cfg); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "program simple") {
+		t.Errorf("normal output missing after clean vet:\n%s", buf.String())
+	}
+}
+
+// -vet on a program with findings prints them and fails the run.
+func TestRunVetDirtyFile(t *testing.T) {
+	const src = `program dirty;
+config var n : integer = 8;
+region R = [1..n, 1..n];
+var A : [R] float;
+var unread : float;
+procedure main();
+begin
+  [R] A := 1.0;
+  unread := 2.0;
+  writeln(A);
+end;
+`
+	cfg, err := parseArgs([]string{"-vet", writeTemp(t, src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run(&buf, cfg)
+	if err == nil || !strings.Contains(err.Error(), "vet reported") {
+		t.Fatalf("run error = %v, want vet failure; output:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "write-only-var") {
+		t.Errorf("findings missing from output:\n%s", buf.String())
+	}
+}
+
+// A file with several syntax errors reports them all, not just the first.
+func TestRunReportsAllParseErrors(t *testing.T) {
+	const src = `program broken;
+region R = [1..8];
+var A : [R] float;
+procedure main();
+begin
+  A := ;
+  A := 1.0 +;
+  [R] A := 2.0;
+end;
+`
+	cfg, err := parseArgs([]string{writeTemp(t, src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run(&buf, cfg)
+	if err == nil {
+		t.Fatal("run accepted a broken program")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, ":6:") || !strings.Contains(msg, ":7:") {
+		t.Errorf("error should name both broken lines, got:\n%s", msg)
 	}
 }
 

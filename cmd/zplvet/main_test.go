@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseArgs(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr bool
+	}{
+		{[]string{"file.zpl"}, false},
+		{[]string{"-json", "a.zpl", "b.zpl"}, false},
+		{[]string{"-bench", "tomcatv"}, false},
+		{[]string{"-bench", "all"}, false},
+		{[]string{"-rules"}, false},
+		{[]string{}, true},            // no inputs
+		{[]string{"-nonsense"}, true}, // unknown flag
+	}
+	for _, c := range cases {
+		_, err := parseArgs(c.args)
+		if gotErr := err != nil; gotErr != c.wantErr {
+			t.Errorf("parseArgs(%v) error = %v, want error %v", c.args, err, c.wantErr)
+		}
+	}
+}
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.zpl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cleanSrc = `program clean;
+config var n : integer = 8;
+region R = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+direction east = [0, 1];
+var A, B : [R] float;
+var total : float;
+procedure main();
+begin
+  [R] B := 1.0;
+  [Int] A := B@east;
+  [R] total := +<< A;
+  writeln(total);
+end;
+`
+
+const dirtySrc = `program dirty;
+config var n : integer = 8;
+region R = [1..n, 1..n];
+direction east = [0, 1];
+var A, B : [R] float;
+var unread : float;
+procedure main();
+var total : float;
+begin
+  [R] B := 1.0;
+  [R] A := B@east;
+  unread := 2.0;
+  [R] total := +<< A;
+  writeln(total);
+end;
+`
+
+func TestRunCleanFile(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, []string{writeTemp(t, cleanSrc)})
+	if err != nil || code != 0 {
+		t.Fatalf("clean file: code=%d err=%v output:\n%s", code, err, buf.String())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("clean file produced output:\n%s", buf.String())
+	}
+}
+
+func TestRunDirtyFileExitsNonzero(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, []string{writeTemp(t, dirtySrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("dirty file: code=%d, want 1", code)
+	}
+	out := buf.String()
+	for _, want := range []string{"at-outside-region", "write-only-var"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, []string{"-json", writeTemp(t, dirtySrc)})
+	if err != nil || code != 1 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(strings.TrimSpace(out), "[") {
+		t.Errorf("JSON output should be an array:\n%s", out)
+	}
+	if !strings.Contains(out, `"rule": "write-only-var"`) {
+		t.Errorf("JSON missing rule field:\n%s", out)
+	}
+}
+
+func TestRunBenchmarksClean(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, []string{"-bench", "all"})
+	if err != nil || code != 0 {
+		t.Fatalf("bundled benchmarks not clean: code=%d err=%v output:\n%s", code, err, buf.String())
+	}
+}
+
+func TestRunRules(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, []string{"-rules"})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	out := buf.String()
+	for _, want := range []string{"unused-var", "plan-missing-transfer", "parse-error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rule listing missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -262,6 +262,14 @@ func (pl *Pipeline) Build(prog *ir.Program) (*Plan, error) {
 			}
 		}
 	}
+	if pl.Debug {
+		// Translation validation of the finished plan: VerifyPlan re-derives
+		// required communication from the IR alone (see verify.go), so this
+		// catches plan/analysis disagreements the per-pass checks share.
+		if fs := VerifyPlan(p); len(fs) > 0 {
+			return nil, fmt.Errorf("verify: %s", fs[0])
+		}
+	}
 	p.Trace = &Trace{Passes: trace}
 	return p, nil
 }

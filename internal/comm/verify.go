@@ -1,0 +1,240 @@
+package comm
+
+import (
+	"fmt"
+
+	"commopt/internal/diag"
+	"commopt/internal/ir"
+	"commopt/internal/zpl"
+)
+
+// VerifyPlan is the translation validator of the optimizer: from the IR
+// alone it re-derives the communication every block requires — its own
+// reaching-definitions scan, not the BlockAnalysis the passes consume
+// (see verify_required.go) — and checks that the plan, whatever pipeline
+// produced it, still satisfies all of it. The checks, each with a stable
+// rule ID so corruptions are distinguishable:
+//
+//	plan-call-order       calls violate DR <= SR <= DN, SR <= SV
+//	plan-inflight-clobber a carried array is written between SR and SV
+//	plan-hoisted-variant  a hoisted transfer's data varies in the loop
+//	plan-missing-transfer a required use has no transfer at all
+//	plan-stale-transfer   a required use has only stale or late transfers
+//	plan-overwide-merge   a transfer carries data no use requires
+//
+// Together these subsume CheckPlan and add the reverse direction: rr may
+// only have dropped transfers another live transfer still covers
+// (otherwise plan-missing/stale fires), cc merges must carry exactly the
+// union of their sources' element sets (plan-overwide-merge fires on
+// more; the coverage rules fire on less), and pl motion must cross no
+// conflicting def or use (plan-inflight-clobber / plan-stale-transfer).
+//
+// The returned findings carry source positions via ir.PosOf and are
+// sorted by the caller's diag.List. An empty result means the plan is
+// provably equivalent to the unoptimized communication.
+func VerifyPlan(p *Plan) []diag.Finding {
+	v := &verifier{}
+	for i, bp := range p.Blocks {
+		v.block(i, bp)
+	}
+	v.hoistedLoops(p)
+	return v.findings
+}
+
+// Verifier rule IDs.
+const (
+	RuleCallOrder      = "plan-call-order"
+	RuleInflight       = "plan-inflight-clobber"
+	RuleHoistedVariant = "plan-hoisted-variant"
+	RuleMissing        = "plan-missing-transfer"
+	RuleStale          = "plan-stale-transfer"
+	RuleOverwide       = "plan-overwide-merge"
+)
+
+type verifier struct {
+	findings []diag.Finding
+}
+
+func (v *verifier) report(rule string, pos zpl.Pos, format string, args ...any) {
+	v.findings = append(v.findings, diag.Finding{
+		Rule: rule, Severity: diag.Error, Pos: pos,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// block verifies one block plan against independently derived facts.
+func (v *verifier) block(idx int, bp *BlockPlan) {
+	facts := factsOf(bp.Stmts)
+	end := len(bp.Stmts)
+
+	for _, t := range bp.Transfers {
+		pos := transferPos(bp, t)
+		if t.Hoisted {
+			// Block-local slice of the invariance guarantee; the loop-wide
+			// part runs in hoistedLoops.
+			for _, a := range t.Items {
+				if d := facts.defIn(a, 0, end); d >= 0 {
+					v.report(RuleHoistedVariant, pos,
+						"block %d: %v hoisted but %s is written at stmt %d", idx, t, a.Name, d)
+				}
+			}
+		} else {
+			if !(0 <= t.DRPos && t.DRPos <= t.SRPos && t.SRPos <= t.DNPos && t.DNPos <= end) ||
+				t.SVPos < t.SRPos || t.SVPos > end {
+				v.report(RuleCallOrder, pos,
+					"block %d: %v calls out of order (DR=%d SR=%d DN=%d SV=%d, %d stmts)",
+					idx, t, t.DRPos, t.SRPos, t.DNPos, t.SVPos, end)
+				continue
+			}
+			for _, a := range t.Items {
+				if d := facts.defIn(a, t.SRPos, minInt(t.SVPos, end)); d >= 0 {
+					v.report(RuleInflight, pos,
+						"block %d: %v carries %s, written at stmt %d while in flight (SR=%d SV=%d)",
+						idx, t, a.Name, d, t.SRPos, t.SVPos)
+				}
+			}
+		}
+
+		// The reverse direction: everything the transfer carries must be
+		// demanded by some use it actually covers, or a merge grew wider
+		// than the union of its sources.
+		for _, a := range t.Items {
+			if !v.itemJustified(facts, t, a) {
+				v.report(RuleOverwide, pos,
+					"block %d: %v carries %s@%v which no use requires", idx, t, a.Name, t.Offset)
+			}
+		}
+	}
+
+	// The forward direction: every required use is covered.
+	for _, r := range facts.reqs {
+		pos := stmtPos(bp.Stmts, r.idx)
+		matched, fresh := v.coverage(facts, bp.Transfers, r)
+		switch {
+		case fresh:
+		case matched:
+			v.report(RuleStale, pos,
+				"block %d stmt %d: use %v matched only stale or late transfers", idx, r.idx, r.use)
+		default:
+			v.report(RuleMissing, pos,
+				"block %d stmt %d: use %v has no covering transfer", idx, r.idx, r.use)
+		}
+	}
+}
+
+// coverage reports whether any transfer matches the requirement's
+// (field, direction, element set) at all, and whether a matching one is
+// fresh and delivered at the use.
+func (v *verifier) coverage(facts *blockFacts, transfers []*Transfer, r requirement) (matched, fresh bool) {
+	for _, t := range transfers {
+		if t.Offset != r.use.Off || !t.Carries(r.use.Array) || !sameElementSet(t.Region, r.region) {
+			continue
+		}
+		matched = true
+		if covers(facts, t, r) {
+			return true, true
+		}
+	}
+	return matched, false
+}
+
+// covers reports whether transfer t satisfies requirement r: delivered by
+// the use and carrying the value current at the use.
+func covers(facts *blockFacts, t *Transfer, r requirement) bool {
+	if t.Hoisted {
+		// Preheader data is current only while the array has no definition
+		// before the use.
+		return facts.lastDefBefore(r.use.Array, r.idx) == -1
+	}
+	if t.DNPos > r.idx {
+		return false // delivered too late
+	}
+	// Values captured at the send point must still be the values at the
+	// use: no definition in between.
+	return facts.lastDefBefore(r.use.Array, r.idx) < t.SRPos
+}
+
+// itemJustified reports whether any requirement demands item a at the
+// transfer's offset and element set. Timing is deliberately ignored here:
+// whether the demanding use is actually satisfied is the coverage rules'
+// job, so each corruption keeps its own distinguishing rule ID.
+func (v *verifier) itemJustified(facts *blockFacts, t *Transfer, a *ir.ArraySym) bool {
+	for _, r := range facts.reqs {
+		if r.use.Array == a && r.use.Off == t.Offset && sameElementSet(t.Region, r.region) {
+			return true
+		}
+	}
+	return false
+}
+
+// hoistedLoops re-checks every preheader transfer against its whole loop
+// body with the verifier's own def scan: hoisting is only sound when the
+// carried data is identical on every iteration, i.e. static region and no
+// definition anywhere in the loop.
+func (v *verifier) hoistedLoops(p *Plan) {
+	if p.Program == nil {
+		return // bare block plans (tests) have no loop structure
+	}
+	for _, proc := range p.Program.Procs {
+		v.hoistedBody(p, proc.Body)
+	}
+}
+
+func (v *verifier) hoistedBody(p *Plan, body []ir.Stmt) {
+	for _, s := range body {
+		var loopBody []ir.Stmt
+		switch s := s.(type) {
+		case *ir.If:
+			v.hoistedBody(p, s.Then)
+			v.hoistedBody(p, s.Else)
+			continue
+		case *ir.Repeat:
+			loopBody = s.Body
+		case *ir.While:
+			loopBody = s.Body
+		case *ir.For:
+			loopBody = s.Body
+		default:
+			continue
+		}
+		v.hoistedBody(p, loopBody)
+		ts := p.preheader[s]
+		if len(ts) == 0 {
+			continue
+		}
+		defs := map[*ir.ArraySym]bool{}
+		verifyCollectDefs(loopBody, defs)
+		for _, t := range ts {
+			pos := ir.PosOf(s)
+			if t.Region.Sym == nil {
+				v.report(RuleHoistedVariant, pos,
+					"loop at %v: %v hoisted with non-static region", pos, t)
+			}
+			for _, a := range t.Items {
+				if defs[a] {
+					v.report(RuleHoistedVariant, pos,
+						"loop at %v: %v hoisted but %s is written in the loop body", pos, t, a.Name)
+				}
+			}
+		}
+	}
+}
+
+// transferPos anchors a transfer finding at its earliest-use statement.
+func transferPos(bp *BlockPlan, t *Transfer) zpl.Pos {
+	return stmtPos(bp.Stmts, t.UseIdx)
+}
+
+func stmtPos(stmts []ir.Stmt, idx int) zpl.Pos {
+	if idx < 0 || idx >= len(stmts) {
+		return zpl.Pos{}
+	}
+	return ir.PosOf(stmts[idx])
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package comm
+
+import (
+	"commopt/internal/ir"
+)
+
+// This file is the verifier's independent dataflow substrate. It
+// deliberately re-derives reaching definitions and communication
+// requirements from the IR statements alone — it must not touch
+// BlockAnalysis (analysis.go), which is the substrate the optimizer
+// passes consume. A bug in the shared analysis therefore cannot hide a
+// matching bug in the plan: the verifier would disagree with it.
+
+// requirement is one communicating use the plan must satisfy: a (field,
+// direction) pair read by the statement at idx under its region.
+type requirement struct {
+	use    ir.ArrayUse
+	region ir.RegionExpr
+	idx    int
+}
+
+// blockFacts holds the verifier's own per-block dataflow: every array's
+// definition sites in statement order, plus the block's communication
+// requirements.
+type blockFacts struct {
+	stmts []ir.Stmt
+	defs  map[*ir.ArraySym][]int
+	reqs  []requirement
+}
+
+// factsOf scans a block's statements once.
+func factsOf(stmts []ir.Stmt) *blockFacts {
+	f := &blockFacts{stmts: stmts, defs: map[*ir.ArraySym][]int{}}
+	for i, s := range stmts {
+		reg := ir.RegionOf(s)
+		for _, u := range ir.UsesOf(s) {
+			if u.NeedsComm() {
+				f.reqs = append(f.reqs, requirement{use: u, region: reg, idx: i})
+			}
+		}
+		if a := ir.DefOf(s); a != nil {
+			f.defs[a] = append(f.defs[a], i)
+		}
+	}
+	return f
+}
+
+// lastDefBefore returns the last statement index < idx defining a, or -1.
+func (f *blockFacts) lastDefBefore(a *ir.ArraySym, idx int) int {
+	last := -1
+	for _, d := range f.defs[a] {
+		if d >= idx {
+			break
+		}
+		last = d
+	}
+	return last
+}
+
+// defIn returns the first statement index in [lo, hi) defining a, or -1.
+func (f *blockFacts) defIn(a *ir.ArraySym, lo, hi int) int {
+	for _, d := range f.defs[a] {
+		if d >= hi {
+			break
+		}
+		if d >= lo {
+			return d
+		}
+	}
+	return -1
+}
+
+// sameElementSet reports whether two statement regions denote the same
+// index set: the same declared region, or literal regions sharing their
+// bound expressions. It mirrors the definition the optimizer relies on
+// but is computed here from the IR directly.
+func sameElementSet(a, b ir.RegionExpr) bool {
+	if a.Sym != nil || b.Sym != nil {
+		return a.Sym == b.Sym
+	}
+	if a.RankN != b.RankN {
+		return false
+	}
+	for d := 0; d < a.RankN; d++ {
+		if a.Bounds[d][0] != b.Bounds[d][0] || a.Bounds[d][1] != b.Bounds[d][1] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyCollectDefs adds every array assigned anywhere in body (including
+// called procedures) to defs — the verifier's own whole-loop kill scan.
+func verifyCollectDefs(body []ir.Stmt, defs map[*ir.ArraySym]bool) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *ir.AssignArray:
+			defs[s.LHS] = true
+		case *ir.If:
+			verifyCollectDefs(s.Then, defs)
+			verifyCollectDefs(s.Else, defs)
+		case *ir.Repeat:
+			verifyCollectDefs(s.Body, defs)
+		case *ir.While:
+			verifyCollectDefs(s.Body, defs)
+		case *ir.For:
+			verifyCollectDefs(s.Body, defs)
+		case *ir.Call:
+			verifyCollectDefs(s.Proc.Body, defs)
+		}
+	}
+}

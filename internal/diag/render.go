@@ -1,0 +1,59 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text renders the list's findings as human-readable lines. With excerpts
+// enabled, each finding with a position is followed by the source line
+// and a caret column marker:
+//
+//	file.zpl:12:7: warning[unused-var]: array "Q" is declared but never used
+//	   12 | var Q : [R] float;
+//	      |       ^
+func (l *List) Text(w io.Writer, excerpts bool) {
+	for _, f := range l.Findings {
+		fmt.Fprintln(w, f.String())
+		if !excerpts || f.Pos.Line < 1 || f.Pos.Line > len(l.lines) {
+			continue
+		}
+		line := strings.ReplaceAll(l.lines[f.Pos.Line-1], "\t", " ")
+		num := fmt.Sprintf("%5d", f.Pos.Line)
+		fmt.Fprintf(w, "%s | %s\n", num, line)
+		if f.Pos.Col >= 1 && f.Pos.Col <= len(line)+1 {
+			fmt.Fprintf(w, "%s | %s^\n", strings.Repeat(" ", len(num)), strings.Repeat(" ", f.Pos.Col-1))
+		}
+	}
+}
+
+// jsonFinding is the stable wire form of one finding.
+type jsonFinding struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings (possibly spanning several files) as one
+// JSON array, for editors and CI.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Rule:     f.Rule,
+			Severity: f.Severity.String(),
+			File:     f.File,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Col,
+			Message:  f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

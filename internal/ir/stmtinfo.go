@@ -1,9 +1,37 @@
 package ir
 
+import "commopt/internal/zpl"
+
 // Statement accessors shared by the communication optimizer and its plan
 // validity checker: a single definition of which statements belong in a
 // source-level basic block and what each one defines, uses, covers and
 // costs. The comm package's block analyses are built entirely from these.
+
+// PosOf returns the ZPL source position a statement was lowered from (the
+// zero position for statements built without one, e.g. in tests). The
+// lowerer threads every statement's position through, so diagnostics from
+// the linter and the plan verifier can point at source lines.
+func PosOf(s Stmt) zpl.Pos {
+	switch s := s.(type) {
+	case *AssignArray:
+		return s.Pos
+	case *AssignScalar:
+		return s.Pos
+	case *If:
+		return s.Pos
+	case *Repeat:
+		return s.Pos
+	case *While:
+		return s.Pos
+	case *For:
+		return s.Pos
+	case *Call:
+		return s.Pos
+	case *Write:
+		return s.Pos
+	}
+	return zpl.Pos{}
+}
 
 // IsStraightLine reports whether s may appear inside a source-level basic
 // block. Control statements bound blocks; their bodies are optimized

@@ -1,0 +1,83 @@
+package lint
+
+import "commopt/internal/zpl"
+
+// Compile-time expression evaluation under the default config values.
+// The linter only needs enough arithmetic to resolve region bounds and
+// direction offsets; anything it cannot fold (loop variables, runtime
+// scalars) simply opts the dependent rule out rather than guessing.
+
+// evalConst folds e to a number using env (config defaults and declared
+// constants). The second result is false when e is not compile-time
+// evaluable.
+func evalConst(e zpl.Expr, env map[string]float64) (float64, bool) {
+	switch e := e.(type) {
+	case *zpl.NumLit:
+		return e.Value, true
+	case *zpl.Ident:
+		v, ok := env[e.Name]
+		return v, ok
+	case *zpl.UnaryExpr:
+		x, ok := evalConst(e.X, env)
+		if !ok || e.Op != zpl.MINUS {
+			return 0, false
+		}
+		return -x, true
+	case *zpl.BinaryExpr:
+		x, okx := evalConst(e.X, env)
+		y, oky := evalConst(e.Y, env)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch e.Op {
+		case zpl.PLUS:
+			return x + y, true
+		case zpl.MINUS:
+			return x - y, true
+		case zpl.STAR:
+			return x * y, true
+		case zpl.SLASH:
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		}
+	}
+	return 0, false
+}
+
+// evalInt folds e to an integer, failing on non-integral results.
+func evalInt(e zpl.Expr, env map[string]float64) (int, bool) {
+	v, ok := evalConst(e, env)
+	if !ok || v != float64(int(v)) {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// evalRanges folds region bounds to [lo, hi] pairs per dimension.
+func evalRanges(ranges []zpl.Range, env map[string]float64) ([][2]int, bool) {
+	out := make([][2]int, len(ranges))
+	for i, r := range ranges {
+		lo, okLo := evalInt(r.Lo, env)
+		hi, okHi := evalInt(r.Hi, env)
+		if !okLo || !okHi {
+			return nil, false
+		}
+		out[i] = [2]int{lo, hi}
+	}
+	return out, true
+}
+
+// evalOffsets folds a direction's component expressions to integers.
+func evalOffsets(comps []zpl.Expr, env map[string]float64) ([]int, bool) {
+	out := make([]int, len(comps))
+	for i, c := range comps {
+		v, ok := evalInt(c, env)
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}

@@ -1,0 +1,345 @@
+// Package lint is the ZPL source linter: a set of small self-registering
+// rules over the parsed AST that flag suspicious programs with positioned
+// diagnostics before they reach lowering or the optimizer — unused
+// declarations, @-references that read outside an array's declared
+// region, write-only fields, shadowed declarations and statements with no
+// effect. Each rule lives in its own rule_*.go file and registers itself
+// in an init function, so adding a rule is one file.
+package lint
+
+import (
+	"sort"
+
+	"commopt/internal/diag"
+	"commopt/internal/zpl"
+)
+
+// Rule is one lint check. Rules see the whole program through a shared
+// Context and report through its finding list.
+type Rule struct {
+	// ID is the stable rule identifier reported in findings.
+	ID string
+	// Doc is a one-line description for rule listings (zplvet -rules).
+	Doc string
+	// Run performs the check.
+	Run func(c *Context)
+}
+
+var rules []Rule
+
+// register adds a rule at init time. Rules are kept sorted by ID so the
+// run order (and therefore tie-broken output order) is deterministic.
+func register(r Rule) {
+	rules = append(rules, r)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+}
+
+// Rules returns every registered rule in ID order.
+func Rules() []Rule { return append([]Rule(nil), rules...) }
+
+// Context carries one program through every rule.
+type Context struct {
+	Prog *zpl.Program
+	Info *Info
+	List *diag.List
+}
+
+// warn reports a finding at warning severity.
+func (c *Context) warn(rule string, pos zpl.Pos, format string, args ...any) {
+	c.List.Add(rule, diag.Warning, pos, format, args...)
+}
+
+// Run lints a parsed program, appending findings to list (sorted by
+// position on return).
+func Run(prog *zpl.Program, list *diag.List) {
+	c := &Context{Prog: prog, Info: buildInfo(prog), List: list}
+	for _, r := range rules {
+		r.Run(c)
+	}
+	list.Sort()
+}
+
+// declInfo records one declared name.
+type declInfo struct {
+	Pos  zpl.Pos
+	Kind string // "config", "constant", "region", "direction", "array", "scalar"
+	Proc string // "" for globals, otherwise the owning procedure
+}
+
+// Info is the symbol and usage table every rule shares: declared names
+// with their kinds and positions, per-symbol read/write counts, evaluated
+// region bounds and direction offsets (under the default config values),
+// and which regions/directions the program references.
+type Info struct {
+	// Decls maps scope keys to declarations. Globals key by name;
+	// procedure locals and parameters by "proc.name".
+	Decls map[string]declInfo
+
+	// Reads and Writes count expression reads and assignment writes per
+	// scope key. Loop variables are tracked separately (they are
+	// implicitly declared) and shadowed names inside loop bodies are not
+	// charged to the shadowed declaration.
+	Reads, Writes map[string]int
+
+	// RegionUses and DirUses count references to declared regions (in
+	// var declarations and region scopes) and directions (in @).
+	RegionUses, DirUses map[string]int
+
+	// RegionBounds holds each declared region's bounds evaluated under
+	// the default config/constant values; regions whose bounds are not
+	// compile-time evaluable are absent.
+	RegionBounds map[string][][2]int
+
+	// DirOffsets holds each declared direction's constant offset vector.
+	DirOffsets map[string][]int
+
+	// ArrayRegion maps an array's scope key to its declared region name.
+	ArrayRegion map[string]string
+
+	// Env holds the evaluated config and constant values.
+	Env map[string]float64
+}
+
+// key resolves a name to its scope key: the procedure-local key when proc
+// declares it, the global key otherwise.
+func (in *Info) key(proc, name string) string {
+	if proc != "" {
+		if k := proc + "." + name; in.declared(k) {
+			return k
+		}
+	}
+	return name
+}
+
+func (in *Info) declared(k string) bool { _, ok := in.Decls[k]; return ok }
+
+func buildInfo(prog *zpl.Program) *Info {
+	in := &Info{
+		Decls:        map[string]declInfo{},
+		Reads:        map[string]int{},
+		Writes:       map[string]int{},
+		RegionUses:   map[string]int{},
+		DirUses:      map[string]int{},
+		RegionBounds: map[string][][2]int{},
+		DirOffsets:   map[string][]int{},
+		ArrayRegion:  map[string]string{},
+		Env:          map[string]float64{},
+	}
+
+	// Pass 1: declarations, config/constant evaluation, region bounds and
+	// direction offsets.
+	for _, d := range prog.Decls {
+		switch d := d.(type) {
+		case *zpl.ConfigDecl:
+			for _, n := range d.Names {
+				in.Decls[n] = declInfo{Pos: d.Pos, Kind: "config"}
+				if v, ok := evalConst(d.Init, in.Env); ok {
+					in.Env[n] = v
+				}
+			}
+		case *zpl.ConstDecl:
+			in.Decls[d.Name] = declInfo{Pos: d.Pos, Kind: "constant"}
+			if v, ok := evalConst(d.Value, in.Env); ok {
+				in.Env[d.Name] = v
+			}
+		case *zpl.RegionDecl:
+			in.Decls[d.Name] = declInfo{Pos: d.Pos, Kind: "region"}
+			if b, ok := evalRanges(d.Ranges, in.Env); ok {
+				in.RegionBounds[d.Name] = b
+			}
+		case *zpl.DirectionDecl:
+			in.Decls[d.Name] = declInfo{Pos: d.Pos, Kind: "direction"}
+			if off, ok := evalOffsets(d.Comps, in.Env); ok {
+				in.DirOffsets[d.Name] = off
+			}
+		case *zpl.VarDecl:
+			in.addVars(d, "")
+		}
+	}
+	for _, p := range prog.Procs {
+		for _, l := range p.Locals {
+			in.addVars(l, p.Name)
+		}
+	}
+
+	// Pass 2: usage. Parameters count as declared locals for resolution
+	// but are not usage-linted, so they are added to Decls only here.
+	for _, p := range prog.Procs {
+		for _, pa := range p.Params {
+			k := p.Name + "." + pa.Name
+			if !in.declared(k) {
+				in.Decls[k] = declInfo{Pos: p.Pos, Kind: "param", Proc: p.Name}
+			}
+		}
+	}
+	for _, p := range prog.Procs {
+		u := &usageWalker{in: in, proc: p.Name, shadowed: map[string]int{}}
+		u.stmts(p.Body)
+	}
+	return in
+}
+
+func (in *Info) addVars(d *zpl.VarDecl, proc string) {
+	kind := "scalar"
+	if d.Region != "" {
+		kind = "array"
+		in.RegionUses[d.Region]++
+	}
+	for _, n := range d.Names {
+		k := n
+		if proc != "" {
+			k = proc + "." + n
+		}
+		in.Decls[k] = declInfo{Pos: d.Pos, Kind: kind, Proc: proc}
+		if kind == "array" {
+			in.ArrayRegion[k] = d.Region
+		}
+	}
+}
+
+// usageWalker accumulates read/write counts and region/direction
+// references for one procedure body.
+type usageWalker struct {
+	in       *Info
+	proc     string
+	shadowed map[string]int // names hidden by enclosing for-loop variables
+}
+
+func (u *usageWalker) stmts(body []zpl.Stmt) {
+	for _, s := range body {
+		u.stmt(s)
+	}
+}
+
+func (u *usageWalker) stmt(s zpl.Stmt) {
+	switch s := s.(type) {
+	case *zpl.ScopeStmt:
+		u.regionRef(s.Region)
+		u.stmt(s.Body)
+	case *zpl.CompoundStmt:
+		u.stmts(s.Body)
+	case *zpl.AssignStmt:
+		if u.shadowed[s.LHS] == 0 {
+			u.in.Writes[u.in.key(u.proc, s.LHS)]++
+		}
+		u.expr(s.RHS)
+	case *zpl.IfStmt:
+		u.expr(s.Cond)
+		u.stmts(s.Then)
+		for _, arm := range s.Elifs {
+			u.expr(arm.Cond)
+			u.stmts(arm.Body)
+		}
+		u.stmts(s.Else)
+	case *zpl.RepeatStmt:
+		u.stmts(s.Body)
+		u.expr(s.Until)
+	case *zpl.WhileStmt:
+		u.expr(s.Cond)
+		u.stmts(s.Body)
+	case *zpl.ForStmt:
+		u.expr(s.Lo)
+		u.expr(s.Hi)
+		u.shadowed[s.Var]++
+		u.stmts(s.Body)
+		u.shadowed[s.Var]--
+	case *zpl.CallStmt:
+		for _, a := range s.Args {
+			u.expr(a)
+		}
+	case *zpl.WriteStmt:
+		for _, a := range s.Args {
+			u.expr(a)
+		}
+	}
+}
+
+func (u *usageWalker) expr(e zpl.Expr) {
+	switch e := e.(type) {
+	case *zpl.Ident:
+		if u.shadowed[e.Name] == 0 {
+			u.in.Reads[u.in.key(u.proc, e.Name)]++
+		}
+	case *zpl.AtExpr:
+		if u.shadowed[e.Array] == 0 {
+			u.in.Reads[u.in.key(u.proc, e.Array)]++
+		}
+		if e.Dir.Name != "" {
+			u.in.DirUses[e.Dir.Name]++
+		}
+		for _, c := range e.Dir.Comps {
+			u.expr(c)
+		}
+	case *zpl.UnaryExpr:
+		u.expr(e.X)
+	case *zpl.BinaryExpr:
+		u.expr(e.X)
+		u.expr(e.Y)
+	case *zpl.CallExpr:
+		for _, a := range e.Args {
+			u.expr(a)
+		}
+	case *zpl.ReduceExpr:
+		u.expr(e.X)
+	}
+}
+
+func (u *usageWalker) regionRef(r zpl.RegionRef) {
+	if r.Name != "" {
+		u.in.RegionUses[r.Name]++
+		return
+	}
+	for _, rg := range r.Ranges {
+		u.expr(rg.Lo)
+		u.expr(rg.Hi)
+	}
+}
+
+// walkAssigns visits every assignment statement of a body together with
+// its innermost enclosing region scope (the zero RegionRef when there is
+// none) — the shape the region-bounds rule needs.
+func walkAssigns(body []zpl.Stmt, scope zpl.RegionRef, f func(s *zpl.AssignStmt, scope zpl.RegionRef)) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *zpl.ScopeStmt:
+			walkAssigns([]zpl.Stmt{s.Body}, s.Region, f)
+		case *zpl.CompoundStmt:
+			walkAssigns(s.Body, scope, f)
+		case *zpl.AssignStmt:
+			f(s, scope)
+		case *zpl.IfStmt:
+			walkAssigns(s.Then, scope, f)
+			for _, arm := range s.Elifs {
+				walkAssigns(arm.Body, scope, f)
+			}
+			walkAssigns(s.Else, scope, f)
+		case *zpl.RepeatStmt:
+			walkAssigns(s.Body, scope, f)
+		case *zpl.WhileStmt:
+			walkAssigns(s.Body, scope, f)
+		case *zpl.ForStmt:
+			walkAssigns(s.Body, scope, f)
+		}
+	}
+}
+
+// walkExprs visits every subexpression of e, including e itself.
+func walkExprs(e zpl.Expr, f func(zpl.Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch e := e.(type) {
+	case *zpl.UnaryExpr:
+		walkExprs(e.X, f)
+	case *zpl.BinaryExpr:
+		walkExprs(e.X, f)
+		walkExprs(e.Y, f)
+	case *zpl.CallExpr:
+		for _, a := range e.Args {
+			walkExprs(a, f)
+		}
+	case *zpl.ReduceExpr:
+		walkExprs(e.X, f)
+	}
+}

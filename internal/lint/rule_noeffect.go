@@ -1,0 +1,19 @@
+package lint
+
+import "commopt/internal/zpl"
+
+func init() {
+	register(Rule{
+		ID:  "no-effect",
+		Doc: "statement computes nothing (e.g. self-assignment x := x)",
+		Run: func(c *Context) {
+			for _, p := range c.Prog.Procs {
+				walkAssigns(p.Body, zpl.RegionRef{}, func(s *zpl.AssignStmt, _ zpl.RegionRef) {
+					if id, ok := s.RHS.(*zpl.Ident); ok && id.Name == s.LHS {
+						c.warn("no-effect", s.Pos, "self-assignment of %q has no effect", s.LHS)
+					}
+				})
+			}
+		},
+	})
+}

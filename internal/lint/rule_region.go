@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"strings"
+
+	"commopt/internal/zpl"
+)
+
+func init() {
+	register(Rule{
+		ID:  "at-outside-region",
+		Doc: "@-reference whose direction shifts reads outside the array's declared region",
+		Run: func(c *Context) {
+			for _, p := range c.Prog.Procs {
+				proc := p.Name
+				walkAssigns(p.Body, zpl.RegionRef{}, func(s *zpl.AssignStmt, scope zpl.RegionRef) {
+					bounds, ok := c.scopeBounds(scope)
+					if !ok {
+						return
+					}
+					walkExprs(s.RHS, func(e zpl.Expr) {
+						at, ok := e.(*zpl.AtExpr)
+						if !ok {
+							return
+						}
+						c.checkShift(proc, at, bounds)
+					})
+				})
+			}
+		},
+	})
+}
+
+// scopeBounds resolves a statement's region scope to constant per-dim
+// bounds, failing when the scope is absent or not compile-time evaluable
+// (e.g. wavefront regions indexed by a loop variable).
+func (c *Context) scopeBounds(scope zpl.RegionRef) ([][2]int, bool) {
+	if scope.Name != "" {
+		b, ok := c.Info.RegionBounds[scope.Name]
+		return b, ok
+	}
+	if scope.Ranges == nil {
+		return nil, false
+	}
+	return evalRanges(scope.Ranges, c.Info.Env)
+}
+
+// checkShift verifies that reading at@dir over the scope bounds stays
+// inside at.Array's declared region.
+func (c *Context) checkShift(proc string, at *zpl.AtExpr, scope [][2]int) {
+	var off []int
+	var ok bool
+	if at.Dir.Name != "" {
+		off, ok = c.Info.DirOffsets[at.Dir.Name], true
+		if off == nil {
+			return
+		}
+	} else if off, ok = evalOffsets(at.Dir.Comps, c.Info.Env); !ok {
+		return
+	}
+	key := c.Info.key(proc, at.Array)
+	region := c.Info.ArrayRegion[key]
+	decl, ok := c.Info.RegionBounds[region]
+	if !ok || len(decl) != len(scope) || len(off) != len(scope) {
+		return
+	}
+	for d := range scope {
+		lo, hi := scope[d][0]+off[d], scope[d][1]+off[d]
+		if lo < decl[d][0] || hi > decl[d][1] {
+			c.warn("at-outside-region", at.Pos,
+				"%s@%s reads %d..%d in dim %d, outside %q's region %s (%d..%d)",
+				at.Array, dirLabel(at.Dir), lo, hi, d+1, at.Array, region,
+				decl[d][0], decl[d][1])
+			return
+		}
+	}
+}
+
+// dirLabel renders a direction reference for a message.
+func dirLabel(d zpl.DirRef) string {
+	if d.Name != "" {
+		return d.Name
+	}
+	parts := make([]string, len(d.Comps))
+	for i, comp := range d.Comps {
+		parts[i] = compLabel(comp)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+func compLabel(e zpl.Expr) string {
+	switch e := e.(type) {
+	case *zpl.NumLit:
+		return e.Text
+	case *zpl.UnaryExpr:
+		if e.Op == zpl.MINUS {
+			return "-" + compLabel(e.X)
+		}
+	}
+	return "?"
+}

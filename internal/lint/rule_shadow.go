@@ -1,0 +1,69 @@
+package lint
+
+import "commopt/internal/zpl"
+
+func init() {
+	register(Rule{
+		ID:  "shadowed-decl",
+		Doc: "procedure local, parameter or loop variable hides an outer declaration",
+		Run: func(c *Context) {
+			// Locals and parameters shadowing globals.
+			for key, d := range c.Info.Decls {
+				if d.Proc == "" {
+					continue
+				}
+				name := localName(key)
+				if g, ok := c.Info.Decls[name]; ok {
+					c.warn("shadowed-decl", d.Pos,
+						"%s %q in procedure %q shadows %s declared at %s",
+						shadowKind(d.Kind), name, d.Proc, g.Kind, g.Pos)
+				}
+			}
+			// Loop variables shadowing anything in scope.
+			for _, p := range c.Prog.Procs {
+				proc := p.Name
+				walkFors(p.Body, func(s *zpl.ForStmt) {
+					key := c.Info.key(proc, s.Var)
+					if g, ok := c.Info.Decls[key]; ok {
+						c.warn("shadowed-decl", s.Pos,
+							"loop variable %q shadows %s declared at %s",
+							s.Var, g.Kind, g.Pos)
+					}
+				})
+			}
+		},
+	})
+}
+
+// shadowKind names a local declaration kind for the message.
+func shadowKind(kind string) string {
+	if kind == "param" {
+		return "parameter"
+	}
+	return "local " + kind
+}
+
+// walkFors visits every for statement of a body, including nested ones.
+func walkFors(body []zpl.Stmt, f func(*zpl.ForStmt)) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *zpl.ScopeStmt:
+			walkFors([]zpl.Stmt{s.Body}, f)
+		case *zpl.CompoundStmt:
+			walkFors(s.Body, f)
+		case *zpl.IfStmt:
+			walkFors(s.Then, f)
+			for _, arm := range s.Elifs {
+				walkFors(arm.Body, f)
+			}
+			walkFors(s.Else, f)
+		case *zpl.RepeatStmt:
+			walkFors(s.Body, f)
+		case *zpl.WhileStmt:
+			walkFors(s.Body, f)
+		case *zpl.ForStmt:
+			f(s)
+			walkFors(s.Body, f)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+func init() {
+	register(Rule{
+		ID:  "unused-var",
+		Doc: "variable or array declared but never read or written",
+		Run: func(c *Context) {
+			for key, d := range c.Info.Decls {
+				if d.Kind != "array" && d.Kind != "scalar" {
+					continue
+				}
+				if c.Info.Reads[key]+c.Info.Writes[key] > 0 {
+					continue
+				}
+				c.warn("unused-var", d.Pos, "%s %q is declared but never used", d.Kind, localName(key))
+			}
+		},
+	})
+	register(Rule{
+		ID:  "unused-direction",
+		Doc: "direction declared but never used in an @-reference",
+		Run: func(c *Context) {
+			for key, d := range c.Info.Decls {
+				if d.Kind != "direction" || c.Info.DirUses[key] > 0 {
+					continue
+				}
+				c.warn("unused-direction", d.Pos, "direction %q is declared but never used", key)
+			}
+		},
+	})
+	register(Rule{
+		ID:  "unused-region",
+		Doc: "region declared but never used by an array or region scope",
+		Run: func(c *Context) {
+			for key, d := range c.Info.Decls {
+				if d.Kind != "region" || c.Info.RegionUses[key] > 0 {
+					continue
+				}
+				c.warn("unused-region", d.Pos, "region %q is declared but never used", key)
+			}
+		},
+	})
+}
+
+// localName strips the "proc." scope prefix from a key for display.
+func localName(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[i+1:]
+		}
+	}
+	return key
+}

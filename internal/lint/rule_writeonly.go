@@ -1,0 +1,19 @@
+package lint
+
+func init() {
+	register(Rule{
+		ID:  "write-only-var",
+		Doc: "variable or array assigned but never read",
+		Run: func(c *Context) {
+			for key, d := range c.Info.Decls {
+				if d.Kind != "array" && d.Kind != "scalar" {
+					continue
+				}
+				if c.Info.Writes[key] == 0 || c.Info.Reads[key] > 0 {
+					continue
+				}
+				c.warn("write-only-var", d.Pos, "%s %q is written but never read", d.Kind, localName(key))
+			}
+		},
+	})
+}

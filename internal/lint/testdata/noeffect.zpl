@@ -1,0 +1,17 @@
+program noeffectfix;
+
+config var n : integer = 8;
+
+region R = [1..n, 1..n];
+
+var A : [R] float;
+var x : float;
+
+procedure main();
+begin
+  [R] A := 0.0;
+  x := 2.0;
+  x := x;
+  [R] A := A;
+  writeln(x + (+<< A));
+end;

@@ -1,0 +1,20 @@
+program outsidefix;
+
+config var n : integer = 8;
+
+region R   = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+
+direction east  = [0, 1];
+direction south = [1, 0];
+
+var U, V : [R] float;
+
+procedure main();
+begin
+  [R] U := 0.0;
+  [R] V := U@east;
+  [Int] V := U@south + U@[0, -1];
+  [1..n, 1..n] V := U@[-1, 0];
+  writeln(+<< V);
+end;

@@ -1,0 +1,25 @@
+program shadowfix;
+
+config var n : integer = 8;
+
+region R = [1..n, 1..n];
+
+var A : [R] float;
+var t : float;
+
+procedure scale(n : float);
+var t : float;
+begin
+  t := n * 2.0;
+  [R] A := A + t;
+end;
+
+procedure main();
+begin
+  t := 1.0;
+  scale(t);
+  for t := 1 to 3 do
+    [R] A := A * 1.5;
+  end;
+  writeln(+<< A);
+end;

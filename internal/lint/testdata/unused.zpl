@@ -1,0 +1,20 @@
+program unusedfix;
+
+config var n : integer = 8;
+
+region R    = [1..n, 1..n];
+region Dead = [2..n-1, 2..n-1];
+
+direction east  = [0, 1];
+direction ghost = [1, 1];
+
+var A, B : [R] float;
+var s : float;
+
+procedure main();
+var t : float;
+begin
+  [2..n-1, 2..n-1] A := B@east + 1.0;
+  s := +<< A;
+  writeln(s);
+end;

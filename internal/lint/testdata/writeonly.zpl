@@ -1,0 +1,16 @@
+program writeonlyfix;
+
+config var n : integer = 8;
+
+region R = [1..n, 1..n];
+
+var A, Out : [R] float;
+var tally : float;
+
+procedure main();
+begin
+  [R] A := 1.0;
+  [R] Out := A * 2.0;
+  tally := 3.0;
+  writeln(n);
+end;

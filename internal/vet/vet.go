@@ -1,0 +1,84 @@
+// Package vet is the shared static-analysis driver behind cmd/zplvet and
+// zplc -vet: it carries one ZPL source file through every layer —
+// recovered parse diagnostics, the source linter, lowering, and the
+// communication-plan verifier at every optimization level — and collects
+// the findings in one diag.List.
+package vet
+
+import (
+	"fmt"
+
+	"commopt/internal/comm"
+	"commopt/internal/diag"
+	"commopt/internal/ir"
+	"commopt/internal/lint"
+	"commopt/internal/zpl"
+)
+
+// Driver rule IDs for front-end failures (the lint and plan rules carry
+// their own).
+const (
+	RuleParse = "parse-error"
+	RuleSema  = "sema-error"
+)
+
+// Level is one optimizer configuration the plan verifier checks.
+type Level struct {
+	Name string
+	Opts comm.Options
+}
+
+// Levels returns every optimization level zplvet validates: the paper's
+// four levels, the alternative combining heuristic, and the hoisting
+// extension.
+func Levels() []Level {
+	return []Level{
+		{"baseline", comm.Baseline()},
+		{"rr", comm.RR()},
+		{"cc", comm.CC()},
+		{"pl", comm.PL()},
+		{"pl-maxlat", comm.PLMaxLatency()},
+		{"pl+hoist", comm.Options{RemoveRedundant: true, Combine: true, Pipeline: true, HoistInvariant: true}},
+	}
+}
+
+// Source analyzes one ZPL source file and returns its sorted findings.
+// Parse errors stop the run (later layers would only cascade); lint
+// findings do not, so a warning never masks a plan-verification error.
+func Source(name, src string) *diag.List {
+	list := diag.NewList(name, src)
+
+	ast, errs := zpl.ParseAll(src)
+	for _, e := range errs {
+		list.Add(RuleParse, diag.Error, e.Pos, "%s", e.Msg)
+	}
+	if len(errs) > 0 {
+		list.Sort()
+		return list
+	}
+
+	lint.Run(ast, list)
+
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		if e, ok := err.(*zpl.Error); ok {
+			list.Add(RuleSema, diag.Error, e.Pos, "%s", e.Msg)
+		} else {
+			list.Add(RuleSema, diag.Error, zpl.Pos{}, "%v", err)
+		}
+		list.Sort()
+		return list
+	}
+
+	// Translation validation: every optimization level's plan must satisfy
+	// the independently re-derived communication requirements.
+	for _, lv := range Levels() {
+		plan := comm.BuildPlan(prog, lv.Opts)
+		for _, f := range comm.VerifyPlan(plan) {
+			f.Msg = fmt.Sprintf("[%s] %s", lv.Name, f.Msg)
+			list.Extend(f)
+		}
+	}
+	list.Sort()
+	return list
+}

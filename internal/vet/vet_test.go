@@ -1,0 +1,76 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+
+	"commopt/internal/programs"
+)
+
+func TestLevelsCoverPaperAndExtensions(t *testing.T) {
+	var names []string
+	for _, lv := range Levels() {
+		names = append(names, lv.Name)
+	}
+	got := strings.Join(names, ",")
+	want := "baseline,rr,cc,pl,pl-maxlat,pl+hoist"
+	if got != want {
+		t.Errorf("Levels() = %s, want %s", got, want)
+	}
+}
+
+func TestSourceCleanBenchmarks(t *testing.T) {
+	for _, b := range programs.Suite() {
+		if list := Source(b.Name, b.Source); !list.Empty() {
+			var buf strings.Builder
+			list.Text(&buf, false)
+			t.Errorf("%s: findings on a bundled benchmark:\n%s", b.Name, buf.String())
+		}
+	}
+}
+
+// Parse errors stop the run: no lint or verifier noise cascades.
+func TestSourceParseErrorsOnly(t *testing.T) {
+	const src = `program p;
+region R = [1..8];
+var A : [R] float;
+procedure main();
+begin
+  A := ;
+  A := 1.0 +;
+end;
+`
+	list := Source("p", src)
+	if list.Empty() {
+		t.Fatal("no findings for broken source")
+	}
+	for _, f := range list.Findings {
+		if f.Rule != RuleParse {
+			t.Errorf("finding rule %s, want only %s", f.Rule, RuleParse)
+		}
+	}
+	if len(list.Findings) < 2 {
+		t.Errorf("got %d parse findings, want both errors reported", len(list.Findings))
+	}
+}
+
+func TestSourceSemaError(t *testing.T) {
+	const src = `program p;
+region R = [1..8];
+var A : [R] float;
+procedure main();
+begin
+  [R] A := B;
+end;
+`
+	list := Source("p", src)
+	found := false
+	for _, f := range list.Findings {
+		if f.Rule == RuleSema {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no %s finding for undeclared identifier; findings: %+v", RuleSema, list.Findings)
+	}
+}

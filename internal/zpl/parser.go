@@ -5,44 +5,146 @@ import (
 	"strings"
 )
 
-// Parser builds an AST from ZPL source text.
+// Parser builds an AST from ZPL source text, recovering from syntax
+// errors with panic-mode synchronization: the first error of a construct
+// is recorded, cascading complaints are suppressed, and parsing resumes
+// at the next statement or top-level declaration boundary, so one parse
+// reports every independent mistake in the file.
 type Parser struct {
 	lex  *Lexer
 	tok  Token
 	peek Token
-	err  error
+
+	errs []*Error
+	// panicking suppresses error cascade between a recorded error and the
+	// next synchronization point.
+	panicking bool
+	// jammed halts the parse outright: the lexer failed (it cannot resume
+	// past a bad character) or the error cap was reached. Both token slots
+	// read as EOF from then on.
+	jammed bool
+	// eofReported keeps nested unclosed constructs from each re-reporting
+	// the same premature end of file.
+	eofReported bool
 }
 
-// Parse parses a complete ZPL program.
+// maxParseErrors caps how many diagnostics one parse reports before
+// giving up on the rest of the file.
+const maxParseErrors = 20
+
+// Parse parses a complete ZPL program, stopping at the first syntax
+// error. Use ParseAll to recover and collect every diagnostic.
 func Parse(src string) (*Program, error) {
-	p := &Parser{lex: NewLexer(src)}
-	p.next() // fill peek
-	p.next() // fill tok
-	prog := p.parseProgram()
-	if p.err != nil {
-		return nil, p.err
+	prog, errs := ParseAll(src)
+	if len(errs) > 0 {
+		return nil, errs[0]
 	}
 	return prog, nil
 }
 
+// ParseAll parses a complete ZPL program with error recovery, returning
+// the (possibly partial) AST and every positioned diagnostic found. The
+// program is only safe to lower when the error list is empty.
+func ParseAll(src string) (*Program, []*Error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next() // fill peek
+	p.next() // fill tok
+	prog := p.parseProgram()
+	return prog, p.errs
+}
+
 func (p *Parser) next() {
 	p.tok = p.peek
-	if p.err != nil {
+	if p.jammed {
 		p.peek = Token{Kind: EOF, Pos: p.peek.Pos}
 		return
 	}
 	t, err := p.lex.Next()
 	if err != nil {
-		p.err = err
-		t = Token{Kind: EOF}
+		if e, ok := err.(*Error); ok {
+			p.record(e)
+		} else {
+			p.record(Errorf(p.peek.Pos, "%v", err))
+		}
+		p.jammed = true
+		t = Token{Kind: EOF, Pos: p.peek.Pos}
 	}
 	p.peek = t
 }
 
-func (p *Parser) fail(format string, args ...any) {
-	if p.err == nil {
-		p.err = Errorf(p.tok.Pos, format, args...)
+// record appends a diagnostic, jamming the parse at the error cap.
+func (p *Parser) record(e *Error) {
+	if p.jammed {
+		return
 	}
+	p.errs = append(p.errs, e)
+	if len(p.errs) >= maxParseErrors {
+		p.errs = append(p.errs, Errorf(e.Pos, "too many syntax errors"))
+		p.jammed = true
+		p.tok = Token{Kind: EOF, Pos: p.tok.Pos}
+		p.peek = p.tok
+	}
+}
+
+func (p *Parser) fail(format string, args ...any) {
+	if p.panicking || p.jammed {
+		return
+	}
+	p.panicking = true
+	p.record(Errorf(p.tok.Pos, format, args...))
+}
+
+// syncStmt skips tokens until a statement boundary: past a semicolon, or
+// up to (not consuming) a statement start, a block closer, one of the
+// caller's terminators, or end of file. Clears the panic state.
+func (p *Parser) syncStmt(terms []Kind) {
+	for {
+		switch k := p.tok.Kind; {
+		case k == EOF:
+			p.panicking = false
+			return
+		case k == SEMI:
+			p.next()
+			p.panicking = false
+			return
+		case hasKind(terms, k) || stmtBoundary[k]:
+			p.panicking = false
+			return
+		}
+		p.next()
+	}
+}
+
+// syncTop skips tokens up to the next top-level declaration keyword (or
+// end of file). Clears the panic state.
+func (p *Parser) syncTop() {
+	for !topStart[p.tok.Kind] {
+		p.next()
+	}
+	p.panicking = false
+}
+
+// stmtBoundary lists tokens that can begin a statement or close an
+// enclosing construct — the safe places to resume statement parsing.
+var stmtBoundary = map[Kind]bool{
+	LBRACK: true, KWBEGIN: true, KWIF: true, KWREPEAT: true,
+	KWWHILE: true, KWFOR: true, KWWRITELN: true, IDENT: true,
+	KWEND: true, KWUNTIL: true, KWELSIF: true, KWELSE: true,
+}
+
+// topStart lists tokens that begin a top-level declaration.
+var topStart = map[Kind]bool{
+	EOF: true, KWCONFIG: true, KWCONST: true, KWREGION: true,
+	KWDIRECTION: true, KWVAR: true, KWPROCEDURE: true,
+}
+
+func hasKind(ks []Kind, k Kind) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
 }
 
 func (p *Parser) expect(k Kind) Token {
@@ -68,7 +170,11 @@ func (p *Parser) parseProgram() *Program {
 	p.expect(KWPROGRAM)
 	prog.Name = p.expect(IDENT).Text
 	p.expect(SEMI)
-	for p.err == nil && p.tok.Kind != EOF {
+	for p.tok.Kind != EOF {
+		if p.panicking {
+			p.syncTop()
+			continue
+		}
 		switch p.tok.Kind {
 		case KWCONFIG, KWCONST, KWREGION, KWDIRECTION, KWVAR:
 			prog.Decls = append(prog.Decls, p.parseDecl()...)
@@ -76,6 +182,7 @@ func (p *Parser) parseProgram() *Program {
 			prog.Procs = append(prog.Procs, p.parseProc())
 		default:
 			p.fail("expected declaration or procedure, found %s %q", p.tok.Kind, p.tok.Text)
+			p.syncTop()
 		}
 	}
 	return prog
@@ -261,19 +368,22 @@ func (p *Parser) parseProc() *ProcDecl {
 // is left un-consumed).
 func (p *Parser) parseStmts(terms ...Kind) []Stmt {
 	var out []Stmt
-	for p.err == nil {
-		for _, t := range terms {
-			if p.tok.Kind == t {
-				return out
-			}
+	for {
+		if p.panicking {
+			p.syncStmt(terms)
+		}
+		if hasKind(terms, p.tok.Kind) {
+			return out
 		}
 		if p.tok.Kind == EOF {
-			p.fail("unexpected end of file in statement list")
+			if !p.eofReported {
+				p.eofReported = true
+				p.fail("unexpected end of file in statement list")
+			}
 			return out
 		}
 		out = append(out, p.parseStmt())
 	}
-	return out
 }
 
 func (p *Parser) parseStmt() Stmt {
@@ -625,6 +735,18 @@ func (p *Parser) parsePrimary() Expr {
 		return x
 	}
 	p.fail("expected expression, found %s %q", p.tok.Kind, p.tok.Text)
-	p.next()
+	// Recovery: eat the offending token unless it is structural — those
+	// stay put so the enclosing construct (and the statement-level sync)
+	// can still see its own boundary.
+	if !exprStop[p.tok.Kind] {
+		p.next()
+	}
 	return &NumLit{Value: 0, Text: "0", IsInt: true}
+}
+
+// exprStop lists tokens a failed expression parse must not consume.
+var exprStop = map[Kind]bool{
+	EOF: true, SEMI: true, COMMA: true, RPAREN: true, RBRACK: true,
+	KWEND: true, KWUNTIL: true, KWELSIF: true, KWELSE: true,
+	KWTHEN: true, KWDO: true, KWTO: true, KWDOWNTO: true,
 }

@@ -295,3 +295,68 @@ func TestPrintContainsDeclarations(t *testing.T) {
 		}
 	}
 }
+
+// TestParseAllRecovery checks that one parse reports every independent
+// statement-level mistake, not just the first.
+func TestParseAllRecovery(t *testing.T) {
+	src := `program p;
+
+config var n : integer = 8;
+
+region R = [1..n, 1..n];
+
+var A, B : [R] float;
+
+procedure main();
+begin
+  A := ;
+  B 1.0;
+  A := B +;
+  B := A;
+end;
+`
+	prog, errs := ParseAll(src)
+	if prog == nil {
+		t.Fatal("ParseAll returned nil program")
+	}
+	wantLines := []int{11, 12, 13}
+	if len(errs) != len(wantLines) {
+		t.Fatalf("got %d errors, want %d:\n%v", len(errs), len(wantLines), errs)
+	}
+	for i, want := range wantLines {
+		if errs[i].Pos.Line != want {
+			t.Errorf("error %d at line %d, want %d: %v", i, errs[i].Pos.Line, want, errs[i])
+		}
+	}
+	// The healthy statement after the errors still made it into the AST.
+	if n := len(prog.Procs); n != 1 {
+		t.Fatalf("got %d procs, want 1", n)
+	}
+}
+
+// TestParseAllClean checks that recovery changes nothing for valid input.
+func TestParseAllClean(t *testing.T) {
+	src := "program p;\nprocedure main();\nbegin\nwriteln(1);\nend;\n"
+	prog, errs := ParseAll(src)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if prog.Name != "p" || len(prog.Procs) != 1 {
+		t.Fatalf("bad program: %+v", prog)
+	}
+}
+
+// TestParseAllErrorCap checks the parse gives up at the error cap instead
+// of drowning the user.
+func TestParseAllErrorCap(t *testing.T) {
+	src := "program p;\nprocedure main();\nbegin\n" +
+		strings.Repeat("  A := ;\n", 30) + "end;\n"
+	_, errs := ParseAll(src)
+	if len(errs) != maxParseErrors+1 {
+		t.Fatalf("got %d errors, want cap %d", len(errs), maxParseErrors+1)
+	}
+	last := errs[len(errs)-1]
+	if !strings.Contains(last.Msg, "too many") {
+		t.Errorf("last error should be the cap sentinel, got %v", last)
+	}
+}

@@ -198,6 +198,34 @@ func BenchmarkTable2SWM(b *testing.B)     { benchTable(b, "swm") }
 func BenchmarkTable3Simple(b *testing.B)  { benchTable(b, "simple") }
 func BenchmarkTable4SP(b *testing.B)      { benchTable(b, "sp") }
 
+// BenchmarkRunEndToEnd measures a full simulated run of every suite
+// program at test size on 16 processors — compile and plan excluded — with
+// the compiled-kernel engine and with the interpreter oracle, so the
+// execution engine's end-to-end effect is visible as the kernel/interp
+// ratio.
+func BenchmarkRunEndToEnd(b *testing.B) {
+	for _, bench := range programs.Suite() {
+		prog, err := Compile(bench.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := prog.Plan(comm.PL())
+		for _, mode := range []struct {
+			name  string
+			force bool
+		}{{"kernel", false}, {"interp", true}} {
+			b.Run(bench.Name+"/"+mode.name, func(b *testing.B) {
+				opts := RunOptions{Procs: 16, Configs: bench.TestConfig, ForceInterpreter: mode.force}
+				for i := 0; i < b.N; i++ {
+					if _, err := prog.Run(plan, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCompilerFrontEnd measures parse+lower+plan throughput over the
 // whole suite (the compiler side of the system).
 func BenchmarkCompilerFrontEnd(b *testing.B) {

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"commopt/internal/experiments"
 	"commopt/internal/report"
@@ -23,11 +25,45 @@ func main() {
 	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling")
 	procs := flag.Int("procs", 64, "processors in the simulated partition")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icpp97:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "icpp97:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	r := experiments.NewRunner(*procs)
 	r.Quick = *quick
-	if err := run(*exp, r); err != nil {
+	err := run(*exp, r)
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr == nil {
+			runtime.GC() // flush recently freed objects so the profile shows live heap
+			merr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "icpp97:", merr)
+			os.Exit(1)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "icpp97:", err)
 		os.Exit(1)
 	}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -51,7 +52,7 @@ func main() {
 	flag.Var(cfg, "set", "override a config variable, e.g. -set n=64 (repeatable)")
 	flag.Parse()
 
-	if err := run(*machName, *lib, *procs, *level, *bench, cfg, flag.Args()); err != nil {
+	if err := run(os.Stdout, *machName, *lib, *procs, *level, *bench, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "zplrun:", err)
 		os.Exit(1)
 	}
@@ -73,7 +74,7 @@ func optionsByName(name string) (comm.Options, error) {
 	return comm.Options{}, fmt.Errorf("unknown optimization level %q", name)
 }
 
-func run(machName, lib string, procs int, level, bench string, cfg configFlags, args []string) error {
+func run(w io.Writer, machName, lib string, procs int, level, bench string, cfg configFlags, args []string) error {
 	var src, name string
 	switch {
 	case bench != "":
@@ -120,15 +121,15 @@ func run(machName, lib string, procs int, level, bench string, cfg configFlags, 
 	}
 
 	if res.Output != "" {
-		fmt.Print(res.Output)
+		fmt.Fprint(w, res.Output)
 	}
-	fmt.Printf("-- %s on %d-node %s (%s), optimization %s\n", prog.Name, procs, mach.Name, lib, opts)
-	fmt.Printf("-- execution time   %.6f s (simulated)\n", res.ExecTime.Seconds())
-	fmt.Printf("-- communications   %d static, %d dynamic (per processor)\n", plan.StaticCount, res.DynamicTransfers)
-	fmt.Printf("-- messages         %d point-to-point, %.1f KB total, %d reductions\n",
+	fmt.Fprintf(w, "-- %s on %d-node %s (%s), optimization %s\n", prog.Name, procs, mach.Name, lib, opts)
+	fmt.Fprintf(w, "-- execution time   %.6f s (simulated)\n", res.ExecTime.Seconds())
+	fmt.Fprintf(w, "-- communications   %d static, %d dynamic (per processor)\n", plan.StaticCount, res.DynamicTransfers)
+	fmt.Fprintf(w, "-- messages         %d point-to-point, %.1f KB total, %d reductions\n",
 		res.Messages, float64(res.BytesSent)/1024, res.Reductions)
 	bd := res.Breakdown
-	fmt.Printf("-- critical path    compute %.1f%%, comm overhead %.1f%%, waiting %.1f%%\n",
+	fmt.Fprintf(w, "-- critical path    compute %.1f%%, comm overhead %.1f%%, waiting %.1f%%\n",
 		100*float64(bd.Compute)/float64(bd.Total()),
 		100*float64(bd.Comm)/float64(bd.Total()),
 		100*float64(bd.Wait)/float64(bd.Total()))

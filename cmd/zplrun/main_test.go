@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const laplaceSrc = `program tiny;
+config var n : integer = 8;
+config var iters : integer = 2;
+region R = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+direction east = [0, 1]; west = [0, -1]; north = [-1, 0]; south = [1, 0];
+var U, V : [R] float;
+var resid : float;
+procedure main();
+begin
+  [R] U := Index1 + Index2;
+  for t := 1 to iters do
+    [Int] begin
+      V := 0.25 * (U@east + U@west + U@north + U@south);
+      resid := max<< abs(V - U);
+      U := V;
+    end;
+  end;
+  writeln("resid = ", resid);
+end;
+`
+
+func writeTemp(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.zpl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runArgs(t *testing.T, machName, lib string, procs int, level, bench string, cfg configFlags, args []string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(&buf, machName, lib, procs, level, bench, cfg, args)
+	return buf.String(), err
+}
+
+// A small program runs end to end and the report carries the program's
+// writeln output plus every statistics line.
+func TestRunSmallExample(t *testing.T) {
+	out, err := runArgs(t, "t3d", "pvm", 4, "pl", "", configFlags{}, []string{writeTemp(t, laplaceSrc)})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{
+		"resid = ",
+		"-- tiny on 4-node Cray T3D (pvm), optimization pl",
+		"-- execution time",
+		"-- communications",
+		"-- messages",
+		"-- critical path",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The simulated answer does not depend on the partition size; only the
+// statistics lines may change.
+func TestRunProcsInvariantOutput(t *testing.T) {
+	answer := func(procs int) string {
+		t.Helper()
+		out, err := runArgs(t, "t3d", "pvm", procs, "pl", "", configFlags{}, []string{writeTemp(t, laplaceSrc)})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		line, _, ok := strings.Cut(out, "\n")
+		if !ok || !strings.HasPrefix(line, "resid = ") {
+			t.Fatalf("procs=%d: missing program output line:\n%s", procs, out)
+		}
+		if !strings.Contains(out, "-- tiny on") {
+			t.Fatalf("procs=%d: missing report:\n%s", procs, out)
+		}
+		return line
+	}
+	base := answer(1)
+	for _, procs := range []int{4, 16} {
+		if got := answer(procs); got != base {
+			t.Errorf("procs=%d: %q differs from 1-processor answer %q", procs, got, base)
+		}
+	}
+}
+
+// The bundled benchmarks are addressable with -bench.
+func TestRunBundledBench(t *testing.T) {
+	out, err := runArgs(t, "t3d", "shmem", 4, "cc", "tomcatv", configFlags{"n": 16, "iters": 1}, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "-- tomcatv on 4-node Cray T3D (shmem), optimization cc") {
+		t.Errorf("report header missing:\n%s", out)
+	}
+}
+
+// Every failure mode surfaces as an error (the main function turns these
+// into exit code 1), with a message naming the problem.
+func TestRunErrors(t *testing.T) {
+	good := writeTemp(t, laplaceSrc)
+	cases := []struct {
+		name    string
+		mach    string
+		lib     string
+		level   string
+		bench   string
+		args    []string
+		wantErr string
+	}{
+		{"no input", "t3d", "pvm", "pl", "", nil, "usage"},
+		{"two files", "t3d", "pvm", "pl", "", []string{good, good}, "usage"},
+		{"missing file", "t3d", "pvm", "pl", "", []string{filepath.Join(t.TempDir(), "nope.zpl")}, "no such file"},
+		{"unknown bench", "t3d", "pvm", "pl", "nosuch", nil, "unknown benchmark"},
+		{"bad level", "t3d", "pvm", "o9", "", []string{good}, "unknown optimization level"},
+		{"bad machine", "cm5", "pvm", "pl", "", []string{good}, "unknown machine"},
+		{"bad library", "t3d", "mpi", "pl", "", []string{good}, "unknown"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := runArgs(t, c.mach, c.lib, 4, c.level, c.bench, configFlags{}, c.args)
+			if err == nil {
+				t.Fatalf("run accepted bad input; output:\n%s", out)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestConfigFlags(t *testing.T) {
+	cfg := configFlags{}
+	if err := cfg.Set("n=64"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Set("iters=2.5"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg["n"] != 64 || cfg["iters"] != 2.5 {
+		t.Errorf("parsed flags = %v", cfg)
+	}
+	if err := cfg.Set("bogus"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if err := cfg.Set("n=lots"); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+}

@@ -96,6 +96,11 @@ type RunOptions struct {
 	Library string // "pvm" (default), "shmem", "csend", "isend", "hsend"
 	Procs   int    // default 64
 	Configs map[string]float64
+
+	// ForceInterpreter runs array statements on the closure interpreter
+	// instead of compiled kernels (differential-testing oracle; results
+	// are identical, only host wall-clock differs).
+	ForceInterpreter bool
 }
 
 // Run executes the program under a plan on the simulated machine.
@@ -114,9 +119,10 @@ func (p *Program) Run(plan *comm.Plan, opts RunOptions) (*rt.Result, error) {
 		return nil, err
 	}
 	return rt.Run(p.IR, plan, rt.Config{
-		Machine:    mach,
-		Library:    opts.Library,
-		Procs:      opts.Procs,
-		ConfigVars: opts.Configs,
+		Machine:          mach,
+		Library:          opts.Library,
+		Procs:            opts.Procs,
+		ConfigVars:       opts.Configs,
+		ForceInterpreter: opts.ForceInterpreter,
 	})
 }

@@ -57,6 +57,40 @@ func New(name string, local grid.Region, ghost int) *Field {
 // Allocated reports whether the field owns any data.
 func (f *Field) Allocated() bool { return len(f.data) > 0 }
 
+// Data exposes the raw backing slice (nil for an unallocated field). The
+// layout is row major with the strides reported by Stride; compiled
+// kernels walk it directly instead of going through At/Set bounds checks.
+func (f *Field) Data() []float64 { return f.data }
+
+// Stride returns the flat-index distance between consecutive points along
+// dimension d. The last dimension of a field's rank is always contiguous
+// (stride 1), because trailing unused dimensions have extent 1.
+func (f *Field) Stride(d int) int { return f.stride[d] }
+
+// IndexOf returns the flat index into Data of global point (i,j,k)
+// without bounds checking. Callers must ensure the point lies inside the
+// halo (see Contains); kernels validate their whole iteration space once
+// at compile time instead of per element.
+func (f *Field) IndexOf(i, j, k int) int { return f.index(i, j, k) }
+
+// Contains reports whether every point of reg lies inside the allocated
+// halo. An empty region is contained trivially; an unallocated field
+// contains nothing but the empty region.
+func (f *Field) Contains(reg grid.Region) bool {
+	if reg.Empty() {
+		return true
+	}
+	if !f.Allocated() {
+		return false
+	}
+	for d := 0; d < grid.MaxRank; d++ {
+		if reg.Spans[d].Lo < f.base[d] || reg.Spans[d].Hi >= f.base[d]+f.extent[d] {
+			return false
+		}
+	}
+	return true
+}
+
 // Halo returns the full allocated region (owned block plus ghosts) in
 // global coordinates.
 func (f *Field) Halo() grid.Region {

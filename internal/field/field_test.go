@@ -132,3 +132,58 @@ func TestForEachOrderRowMajor(t *testing.T) {
 		}
 	}
 }
+
+// TestRawAccessors: the flat view kernels use (Data/Stride/IndexOf) agrees
+// with At over the whole halo, the last dimension is contiguous, and rows
+// along it are consecutive runs of the backing slice.
+func TestRawAccessors(t *testing.T) {
+	f := New("A", region2(5, 8, 3, 10), 1)
+	n := 0.0
+	ForEach(f.Halo(), func(i, j, k int) { f.Set(i, j, k, n); n++ })
+	if f.Stride(2) != 1 {
+		t.Fatalf("Stride(2) = %d, want 1", f.Stride(2))
+	}
+	data := f.Data()
+	ForEach(f.Halo(), func(i, j, k int) {
+		if data[f.IndexOf(i, j, k)] != f.At(i, j, k) {
+			t.Fatalf("Data[IndexOf(%d,%d,%d)] = %v, At = %v", i, j, k, data[f.IndexOf(i, j, k)], f.At(i, j, k))
+		}
+	})
+	// A row along the innermost rank dimension is one contiguous slice.
+	h := f.Halo()
+	lo, hi := h.Spans[1].Lo, h.Spans[1].Hi
+	b := f.IndexOf(5, lo, 1)
+	for j := lo; j <= hi; j++ {
+		if data[b+j-lo] != f.At(5, j, 1) {
+			t.Fatalf("row not contiguous at j=%d", j)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	f := New("A", region2(5, 8, 3, 10), 1)
+	cases := []struct {
+		reg  grid.Region
+		want bool
+	}{
+		{f.Local, true},
+		{f.Halo(), true},
+		{region2(4, 9, 2, 11), true},   // exactly the halo
+		{region2(3, 9, 2, 11), false},  // one plane above
+		{region2(4, 10, 2, 11), false}, // one plane below
+		{region2(5, 8, 2, 12), false},  // past the halo east edge
+		{region2(6, 5, 1, 100), true},  // empty region always contained
+	}
+	for _, c := range cases {
+		if got := f.Contains(c.reg); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.reg, got, c.want)
+		}
+	}
+	empty := New("E", region2(1, 0, 1, 4), 1)
+	if empty.Contains(region2(1, 1, 1, 1)) {
+		t.Error("unallocated field contains a nonempty region")
+	}
+	if !empty.Contains(region2(1, 0, 1, 4)) {
+		t.Error("unallocated field should contain the empty region")
+	}
+}

@@ -10,7 +10,9 @@ import (
 )
 
 // dataMsg is one point-to-point message: the ghost rectangles of every
-// array carried by a transfer between one processor pair. tag identifies
+// array carried by a transfer between one processor pair. Messages move
+// between processors by pointer so channel buffers stay one word per
+// slot. tag identifies
 // the transfer within its basic block: with pipelining, two transfers
 // between the same pair may be received in a different order than they
 // were sent (their DN positions need not preserve SR order), so the
@@ -201,7 +203,7 @@ func (p *proc) execSR(t *comm.Transfer, st *xferState, lib *machine.Lib) {
 // send captures the pair's rectangles now (the source may overwrite them
 // after SV) and enqueues the message.
 func (p *proc) send(t *comm.Transfer, pr pairRect, lib *machine.Lib) {
-	m := dataMsg{
+	m := &dataMsg{
 		tag:     t.ID,
 		bytes:   pr.bytes,
 		rects:   pr.rects,
@@ -253,14 +255,14 @@ func (p *proc) execDN(t *comm.Transfer, st *xferState, lib *machine.Lib) {
 // tag, stashing any messages for other transfers that arrive first.
 // Within one (pair, tag) stream order is preserved, so iterations of the
 // same transfer always match up.
-func (p *proc) recvTagged(src, tag int) dataMsg {
+func (p *proc) recvTagged(src, tag int) *dataMsg {
 	if q := p.pending[src][tag]; len(q) > 0 {
 		m := q[0]
 		p.pending[src][tag] = q[1:]
 		return m
 	}
 	for {
-		var m dataMsg
+		var m *dataMsg
 		select {
 		case m = <-p.in[src]:
 		case <-p.w.abort:
@@ -270,7 +272,7 @@ func (p *proc) recvTagged(src, tag int) dataMsg {
 			return m
 		}
 		if p.pending[src] == nil {
-			p.pending[src] = map[int][]dataMsg{}
+			p.pending[src] = map[int][]*dataMsg{}
 		}
 		p.pending[src][m.tag] = append(p.pending[src][m.tag], m)
 	}

@@ -96,8 +96,12 @@ func (p *proc) compile1(e ir.Expr) evalFn {
 			return func(i, j, k int) float64 { return math.Min(x(i, j, k), y(i, j, k)) }
 		default:
 			fn := e.Fn
+			// The buffer is shared across calls: evaluation is
+			// single-goroutine per processor and an expression node can
+			// never be its own descendant, so the closure is not
+			// reentrant and one buffer per node suffices.
+			vals := make([]float64, len(args))
 			return func(i, j, k int) float64 {
-				vals := make([]float64, len(args))
 				for n, a := range args {
 					vals[n] = a(i, j, k)
 				}

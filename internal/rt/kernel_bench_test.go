@@ -1,0 +1,125 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"commopt/internal/comm"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/zpl"
+)
+
+// kernelShapes lists one statement per compiled-kernel fast path, plus the
+// generic stencil shape, so BenchmarkKernels pits every specialization
+// against the closure interpreter on the same program.
+var kernelShapes = []struct {
+	name string
+	stmt string
+}{
+	{"fill", "[R] C := 1.5;"},
+	{"copy", "[R] C := A;"},
+	{"bin", "[R] C := A * B;"},
+	{"axpy", "[R] C := 2.5 * A + B;"},
+	{"stencil", "[Int] C := 0.25 * (A@east + A@west + A@north + A@south);"},
+	{"mapreduce", "[R] s := max<< abs(A - B);"},
+}
+
+const kernelBenchSrc = `
+program kbench;
+config var n : integer = 96;
+config var iters : integer = 40;
+region R = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+direction east = [0, 1]; west = [0, -1]; north = [-1, 0]; south = [1, 0];
+var A, B, C : [R] float;
+var s : float;
+procedure main();
+begin
+  [R] A := Index1 * 0.5 + Index2;
+  [R] B := Index1 - Index2 * 0.25;
+  for t := 1 to iters do
+    %s
+  end;
+  [R] s := +<< C;
+end;
+`
+
+func benchShape(b *testing.B, stmt string, force bool) {
+	b.Helper()
+	src := fmt.Sprintf(kernelBenchSrc, stmt)
+	ast, err := zpl.Parse(src)
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		b.Fatalf("lower: %v", err)
+	}
+	plan := comm.BuildPlan(prog, comm.PL())
+	cfg := Config{Machine: machine.T3D(), Library: "pvm", Procs: 1, ForceInterpreter: force}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(prog, plan, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernels measures each execution-engine shape with compiled
+// kernels and with the interpreter oracle on one simulated processor, so
+// the numbers isolate array evaluation from messaging.
+func BenchmarkKernels(b *testing.B) {
+	for _, sh := range kernelShapes {
+		b.Run(sh.name+"/kernel", func(b *testing.B) { benchShape(b, sh.stmt, false) })
+		b.Run(sh.name+"/interp", func(b *testing.B) { benchShape(b, sh.stmt, true) })
+	}
+}
+
+// TestEmitBenchJSON regenerates BENCH_rt.json, the checked-in snapshot of
+// the kernel-versus-interpreter micro-benchmarks. It is skipped unless
+// BENCH_RT_JSON names the output file:
+//
+//	BENCH_RT_JSON=$PWD/BENCH_rt.json go test ./internal/rt -run TestEmitBenchJSON -count=1
+func TestEmitBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_RT_JSON")
+	if path == "" {
+		t.Skip("set BENCH_RT_JSON=<output path> to emit kernel benchmark numbers")
+	}
+	type row struct {
+		Shape        string  `json:"shape"`
+		KernelNsOp   int64   `json:"kernel_ns_per_op"`
+		InterpNsOp   int64   `json:"interp_ns_per_op"`
+		KernelAllocs int64   `json:"kernel_allocs_per_op"`
+		InterpAllocs int64   `json:"interp_allocs_per_op"`
+		Speedup      float64 `json:"speedup"`
+	}
+	report := struct {
+		Benchmark string `json:"benchmark"`
+		Grid      string `json:"grid"`
+		Procs     int    `json:"procs"`
+		Shapes    []row  `json:"shapes"`
+	}{Benchmark: "BenchmarkKernels", Grid: "96x96, 40 iterations", Procs: 1}
+	for _, sh := range kernelShapes {
+		kr := testing.Benchmark(func(b *testing.B) { benchShape(b, sh.stmt, false) })
+		or := testing.Benchmark(func(b *testing.B) { benchShape(b, sh.stmt, true) })
+		report.Shapes = append(report.Shapes, row{
+			Shape:        sh.name,
+			KernelNsOp:   kr.NsPerOp(),
+			InterpNsOp:   or.NsPerOp(),
+			KernelAllocs: kr.AllocsPerOp(),
+			InterpAllocs: or.AllocsPerOp(),
+			Speedup:      float64(or.NsPerOp()) / float64(kr.NsPerOp()),
+		})
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

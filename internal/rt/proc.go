@@ -26,9 +26,17 @@ type proc struct {
 	fields    []*field.Field // by ArraySym.ID
 	scalars   []float64      // by ScalarSym.ID
 	fnCache   map[ir.Expr]evalFn
-	in        []chan dataMsg      // in[src]: data from processor src
-	readyFrom []chan vtime.Time   // readyFrom[dst]: rendezvous tokens posted by dst
-	pending   []map[int][]dataMsg // pending[src][tag]: stashed out-of-order messages
+	in        []chan *dataMsg      // in[src]: data from processor src (mesh neighbors only)
+	readyFrom []chan vtime.Time    // readyFrom[dst]: rendezvous tokens posted by dst
+	pending   []map[int][]*dataMsg // pending[src][tag]: stashed out-of-order messages
+
+	// Kernel-compiled execution engine (kernel.go): compiled statement
+	// kernels, reduction-partial kernels, the scratch arena that replaces
+	// per-execution temporaries, and the reusable row-evaluation context.
+	kernels  map[kernelKey]*kernel
+	rkernels map[reduceKey]*reduceKernel
+	arena    arena
+	kctx     kctx
 
 	dynTransfers int
 	messages     int
@@ -65,15 +73,29 @@ func newProc(w *world, rank int) *proc {
 	p := &proc{
 		w: w, rank: rank, row: r, col: c,
 		fnCache:   map[ir.Expr]evalFn{},
-		in:        make([]chan dataMsg, w.mesh.Size()),
+		in:        make([]chan *dataMsg, w.mesh.Size()),
 		readyFrom: make([]chan vtime.Time, w.mesh.Size()),
-		pending:   make([]map[int][]dataMsg, w.mesh.Size()),
+		pending:   make([]map[int][]*dataMsg, w.mesh.Size()),
+		kernels:   map[kernelKey]*kernel{},
+		rkernels:  map[reduceKey]*reduceKernel{},
 		xfers:     map[*comm.Transfer]*xferState{},
 		rng:       uint64(rank)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 	}
-	for i := range p.in {
-		p.in[i] = make(chan dataMsg, chanCap)
-		p.readyFrom[i] = make(chan vtime.Time, chanCap)
+	// Transfers only ever move data between mesh neighbors (geometry
+	// derives pairs from neighborDirs, whose displacements are in
+	// {-1,0,1}²), so channels exist only for those pairs. Allocating the
+	// full rank×rank matrix dominated whole-run wall-clock: 64 processors
+	// meant 8192 buffered channels zeroed per Run.
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			if q, ok := w.mesh.Neighbor(rank, dr, dc); ok {
+				p.in[q] = make(chan *dataMsg, chanCap)
+				p.readyFrom[q] = make(chan vtime.Time, chanCap)
+			}
+		}
 	}
 	return p
 }
@@ -233,15 +255,28 @@ func (p *proc) assignArray(s *ir.AssignArray) {
 	size := 0
 	if !local.Empty() {
 		size = local.Size()
-		fn := p.compile(s.RHS)
-		// Whole-array semantics: the RHS is fully evaluated before the
-		// store, so statements like A := A@east are well defined.
-		tmp := make([]float64, 0, size)
-		field.ForEach(local, func(i, j, k int) { tmp = append(tmp, fn(i, j, k)) })
-		n := 0
-		field.ForEach(local, func(i, j, k int) { f.Set(i, j, k, tmp[n]); n++ })
+		if k := p.kernelFor(s, local); k != nil {
+			k.run(p)
+		} else {
+			p.assignArrayInterp(s, f, local, size)
+		}
 	}
 	p.charge(w.mach.StmtOverhead + p.jittered(vtime.Duration(int64(size)*int64(s.Flops))*w.mach.OpTime))
+}
+
+// assignArrayInterp is the closure-interpreter execution of an array
+// assignment: the generic fallback for statements the kernel compiler
+// rejects and the differential-testing oracle (Config.ForceInterpreter).
+func (p *proc) assignArrayInterp(s *ir.AssignArray, f *field.Field, local grid.Region, size int) {
+	fn := p.compile(s.RHS)
+	// Whole-array semantics: the RHS is fully evaluated before the
+	// store, so statements like A := A@east are well defined.
+	m := p.arena.mark()
+	tmp := p.arena.alloc(size)[:0]
+	field.ForEach(local, func(i, j, k int) { tmp = append(tmp, fn(i, j, k)) })
+	n := 0
+	field.ForEach(local, func(i, j, k int) { f.Set(i, j, k, tmp[n]); n++ })
+	p.arena.release(m)
 }
 
 func (p *proc) assignScalar(s *ir.AssignScalar) {
@@ -263,9 +298,14 @@ func (p *proc) assignScalar(s *ir.AssignScalar) {
 func (p *proc) evalWithReduce(e ir.Expr, local grid.Region) float64 {
 	switch e := e.(type) {
 	case *ir.Reduce:
-		fn := p.compile(e.X)
-		acc := e.Op.Identity()
-		field.ForEach(local, func(i, j, k int) { acc = e.Op.Combine(acc, fn(i, j, k)) })
+		var acc float64
+		if k := p.reduceKernel(e, local); k != nil {
+			acc = k.run(p)
+		} else {
+			fn := p.compile(e.X)
+			acc = e.Op.Identity()
+			field.ForEach(local, func(i, j, k int) { acc = e.Op.Combine(acc, fn(i, j, k)) })
+		}
 		return p.allreduce(e.Op, acc)
 	case *ir.Unary:
 		return evalUnary(e.Op, p.evalWithReduce(e.X, local))

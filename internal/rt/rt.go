@@ -33,6 +33,12 @@ type Config struct {
 
 	// ConfigVars overrides the program's config variable defaults by name.
 	ConfigVars map[string]float64
+
+	// ForceInterpreter disables the kernel-compiled execution engine and
+	// evaluates every array statement and reduction partial through the
+	// closure interpreter. Simulated results must be identical either
+	// way; the flag exists for differential testing and benchmarking.
+	ForceInterpreter bool
 }
 
 // Result reports one run's outcome.
@@ -128,6 +134,8 @@ type world struct {
 	lib  *machine.Lib
 	mesh grid.Mesh
 
+	interp bool // run array statements on the interpreter, not kernels
+
 	configVals []float64     // by ScalarSym.ID, configs+consts evaluated
 	regionVals []grid.Region // by RegionSym.ID, evaluated declared regions
 	master     [2]grid.Span  // anchor spans for the block distribution
@@ -177,12 +185,13 @@ func Run(prog *ir.Program, plan *comm.Plan, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	w := &world{
-		prog:  prog,
-		plan:  plan,
-		mach:  cfg.Machine,
-		lib:   lib,
-		mesh:  grid.SquarestMesh(cfg.Procs),
-		abort: make(chan struct{}),
+		prog:   prog,
+		plan:   plan,
+		mach:   cfg.Machine,
+		lib:    lib,
+		mesh:   grid.SquarestMesh(cfg.Procs),
+		interp: cfg.ForceInterpreter,
+		abort:  make(chan struct{}),
 	}
 	if err := w.setup(cfg); err != nil {
 		return nil, err

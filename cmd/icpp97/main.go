@@ -8,6 +8,8 @@
 //	icpp97 -exp fig10a     # one figure or table
 //	icpp97 -procs 16       # a different partition size
 //	icpp97 -quick          # reduced problem sizes
+//	icpp97 -exp profile    # per-callsite "where did the time go" appendix
+//	icpp97 -trace-dir traces -exp table1 -quick   # Perfetto timelines
 package main
 
 import (
@@ -22,9 +24,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling")
+	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, profile")
 	procs := flag.Int("procs", 64, "processors in the simulated partition")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON timeline per benchmark×experiment run into `dir`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
 	flag.Parse()
@@ -44,6 +47,13 @@ func main() {
 
 	r := experiments.NewRunner(*procs)
 	r.Quick = *quick
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "icpp97:", err)
+			os.Exit(1)
+		}
+		r.TraceDir = *traceDir
+	}
 	err := run(*exp, r)
 
 	if *cpuprofile != "" {
@@ -111,6 +121,11 @@ func run(exp string, r *experiments.Runner) error {
 			}
 			t.Render(w)
 		}
+	case "profile":
+		// Opt-in only: the profile appendix is never part of "all", so the
+		// figure and table outputs stay byte-identical with and without
+		// observability built in.
+		return experiments.RunProfiles(w, r)
 	case "table1", "table2", "table3", "table4":
 		idx := int(exp[5] - '1')
 		return table(experiments.AppendixTable(r, experiments.BenchNames()[idx]))

@@ -1,12 +1,17 @@
 // Command zplrun executes a ZPL program on a simulated parallel machine
 // and reports its output, simulated execution time and communication
-// statistics.
+// statistics, with optional observability output: a Chrome trace-event
+// timeline of every virtual processor, a per-callsite communication
+// profile, and a metrics registry.
 //
 // Usage:
 //
 //	zplrun [-machine t3d|paragon] [-lib pvm|shmem|csend|isend|hsend]
-//	       [-procs N] [-O level] [-set name=value]... file.zpl
+//	       [-procs N] [-O level] [-set name=value]...
+//	       [-trace out.json] [-profile] [-metrics] [-metrics-json out.json]
+//	       file.zpl
 //	zplrun -bench swm -procs 64 -O pl -lib shmem
+//	zplrun -bench tomcatv -O pl -trace tomcatv.trace.json   # open in Perfetto
 package main
 
 import (
@@ -21,7 +26,9 @@ import (
 	"commopt/internal/ir"
 	"commopt/internal/machine"
 	"commopt/internal/programs"
+	"commopt/internal/report"
 	"commopt/internal/rt"
+	"commopt/internal/trace"
 	"commopt/internal/zpl"
 )
 
@@ -42,17 +49,37 @@ func (c configFlags) Set(v string) error {
 	return nil
 }
 
-func main() {
-	machName := flag.String("machine", "t3d", "simulated machine: t3d or paragon")
-	lib := flag.String("lib", "pvm", "communication library binding")
-	procs := flag.Int("procs", 64, "virtual processor count")
-	level := flag.String("O", "pl", "optimization level: baseline, rr, cc, pl, pl-maxlat")
-	bench := flag.String("bench", "", "run a bundled benchmark instead of a file")
-	cfg := configFlags{}
-	flag.Var(cfg, "set", "override a config variable, e.g. -set n=64 (repeatable)")
-	flag.Parse()
+// options collects everything one zplrun invocation needs.
+type options struct {
+	mach        string
+	lib         string
+	procs       int
+	level       string
+	bench       string
+	cfg         configFlags
+	tracePath   string // write Chrome trace-event JSON here ("" = off)
+	profile     bool   // print the per-callsite communication profile
+	metrics     bool   // print the metrics registry as text
+	metricsJSON string // write the metrics registry as JSON here ("" = off)
+	args        []string
+}
 
-	if err := run(os.Stdout, *machName, *lib, *procs, *level, *bench, cfg, flag.Args()); err != nil {
+func main() {
+	o := options{cfg: configFlags{}}
+	flag.StringVar(&o.mach, "machine", "t3d", "simulated machine: t3d or paragon")
+	flag.StringVar(&o.lib, "lib", "pvm", "communication library binding")
+	flag.IntVar(&o.procs, "procs", 64, "virtual processor count")
+	flag.StringVar(&o.level, "O", "pl", "optimization level: baseline, rr, cc, pl, pl-maxlat")
+	flag.StringVar(&o.bench, "bench", "", "run a bundled benchmark instead of a file")
+	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON timeline (virtual time) to `file`")
+	flag.BoolVar(&o.profile, "profile", false, "print the per-callsite communication profile")
+	flag.BoolVar(&o.metrics, "metrics", false, "print the run's metrics registry (counters and histograms)")
+	flag.StringVar(&o.metricsJSON, "metrics-json", "", "write the metrics registry as JSON to `file`")
+	flag.Var(o.cfg, "set", "override a config variable, e.g. -set n=64 (repeatable)")
+	flag.Parse()
+	o.args = flag.Args()
+
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "zplrun:", err)
 		os.Exit(1)
 	}
@@ -74,21 +101,21 @@ func optionsByName(name string) (comm.Options, error) {
 	return comm.Options{}, fmt.Errorf("unknown optimization level %q", name)
 }
 
-func run(w io.Writer, machName, lib string, procs int, level, bench string, cfg configFlags, args []string) error {
+func run(w io.Writer, o options) error {
 	var src, name string
 	switch {
-	case bench != "":
-		b, err := programs.ByName(bench)
+	case o.bench != "":
+		b, err := programs.ByName(o.bench)
 		if err != nil {
 			return err
 		}
 		src, name = b.Source, b.Name
-	case len(args) == 1:
-		data, err := os.ReadFile(args[0])
+	case len(o.args) == 1:
+		data, err := os.ReadFile(o.args[0])
 		if err != nil {
 			return err
 		}
-		src, name = string(data), args[0]
+		src, name = string(data), o.args[0]
 	default:
 		return fmt.Errorf("usage: zplrun [flags] file.zpl (or -bench name)")
 	}
@@ -101,21 +128,29 @@ func run(w io.Writer, machName, lib string, procs int, level, bench string, cfg 
 	if err != nil {
 		return fmt.Errorf("%s: %w", name, err)
 	}
-	opts, err := optionsByName(level)
+	opts, err := optionsByName(o.level)
 	if err != nil {
 		return err
 	}
-	mach, err := machine.ByName(machName)
+	mach, err := machine.ByName(o.mach)
 	if err != nil {
 		return err
 	}
 	plan := comm.BuildPlan(prog, opts)
-	res, err := rt.Run(prog, plan, rt.Config{
+	cfg := rt.Config{
 		Machine:    mach,
-		Library:    lib,
-		Procs:      procs,
-		ConfigVars: cfg,
-	})
+		Library:    o.lib,
+		Procs:      o.procs,
+		ConfigVars: o.cfg,
+		Profile:    o.profile,
+		Metrics:    o.metrics || o.metricsJSON != "",
+	}
+	var rec *trace.Recorder
+	if o.tracePath != "" {
+		rec = trace.NewRecorder()
+		cfg.Trace = rec
+	}
+	res, err := rt.Run(prog, plan, cfg)
 	if err != nil {
 		return err
 	}
@@ -123,7 +158,7 @@ func run(w io.Writer, machName, lib string, procs int, level, bench string, cfg 
 	if res.Output != "" {
 		fmt.Fprint(w, res.Output)
 	}
-	fmt.Fprintf(w, "-- %s on %d-node %s (%s), optimization %s\n", prog.Name, procs, mach.Name, lib, opts)
+	fmt.Fprintf(w, "-- %s on %d-node %s (%s), optimization %s\n", prog.Name, o.procs, mach.Name, o.lib, opts)
 	fmt.Fprintf(w, "-- execution time   %.6f s (simulated)\n", res.ExecTime.Seconds())
 	fmt.Fprintf(w, "-- communications   %d static, %d dynamic (per processor)\n", plan.StaticCount, res.DynamicTransfers)
 	fmt.Fprintf(w, "-- messages         %d point-to-point, %.1f KB total, %d reductions\n",
@@ -133,5 +168,66 @@ func run(w io.Writer, machName, lib string, procs int, level, bench string, cfg 
 		100*float64(bd.Compute)/float64(bd.Total()),
 		100*float64(bd.Comm)/float64(bd.Total()),
 		100*float64(bd.Wait)/float64(bd.Total()))
+
+	if o.profile {
+		fmt.Fprintln(w)
+		profileTable(res).Render(w)
+	}
+	if o.metrics {
+		fmt.Fprintln(w)
+		res.Metrics.Text(w)
+	}
+	if o.metricsJSON != "" {
+		f, err := os.Create(o.metricsJSON)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if err := res.Metrics.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	if rec != nil {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.WriteChrome(f, rec); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
 	return nil
+}
+
+// profileTable renders the per-callsite communication profile: one row
+// per plan transfer, attributed to the source position of its earliest
+// use, with any callsites folded in by rr/cc listed alongside.
+func profileTable(res *rt.Result) *report.Table {
+	t := &report.Table{
+		Title:   "Per-callsite communication profile (all processors, virtual time)",
+		Headers: []string{"callsite", "transfer", "hoisted", "SR calls", "messages", "KB", "comm ms", "wait ms", "also covers"},
+	}
+	for _, row := range res.Profile {
+		hoisted := ""
+		if row.Hoisted {
+			hoisted = "yes"
+		}
+		covers := make([]string, 0, len(row.Covers))
+		for _, p := range row.Covers {
+			covers = append(covers, p.String())
+		}
+		t.AddRow(row.Pos.String(), row.Label, hoisted, row.Calls, row.Messages,
+			fmt.Sprintf("%.1f", float64(row.Bytes)/1024),
+			fmt.Sprintf("%.3f", float64(row.Comm)/1e6),
+			fmt.Sprintf("%.3f", float64(row.Wait)/1e6),
+			strings.Join(covers, " "))
+	}
+	return t
 }

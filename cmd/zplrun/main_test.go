@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"commopt/internal/trace"
 )
 
 const laplaceSrc = `program tiny;
@@ -42,7 +45,18 @@ func writeTemp(t *testing.T, src string) string {
 func runArgs(t *testing.T, machName, lib string, procs int, level, bench string, cfg configFlags, args []string) (string, error) {
 	t.Helper()
 	var buf bytes.Buffer
-	err := run(&buf, machName, lib, procs, level, bench, cfg, args)
+	err := run(&buf, options{mach: machName, lib: lib, procs: procs, level: level, bench: bench, cfg: cfg, args: args})
+	return buf.String(), err
+}
+
+// runWith executes run with a fully specified option set.
+func runWith(t *testing.T, o options) (string, error) {
+	t.Helper()
+	if o.cfg == nil {
+		o.cfg = configFlags{}
+	}
+	var buf bytes.Buffer
+	err := run(&buf, o)
 	return buf.String(), err
 }
 
@@ -154,5 +168,120 @@ func TestConfigFlags(t *testing.T) {
 	}
 	if err := cfg.Set("n=lots"); err == nil {
 		t.Error("non-numeric value accepted")
+	}
+}
+
+// The -trace flag writes schema-valid, byte-deterministic Chrome trace
+// JSON with one named timeline row per processor and the IRONMAN call
+// spans visible, matching the checked-in golden file. Regenerate with
+// GOLDEN_UPDATE=1 go test ./cmd/zplrun -run TestRunTraceFlag.
+func TestRunTraceFlag(t *testing.T) {
+	emit := func() []byte {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "out.json")
+		_, err := runWith(t, options{mach: "t3d", lib: "pvm", procs: 4, level: "pl",
+			tracePath: path, args: []string{writeTemp(t, laplaceSrc)}})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	data := emit()
+	if err := trace.ValidateChrome(data); err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+	out := string(data)
+	if got := strings.Count(out, `"thread_name"`); got != 4 {
+		t.Errorf("%d thread_name rows, want one per processor (4)", got)
+	}
+	for _, want := range []string{`"call":"DR"`, `"call":"SR"`, `"call":"DN"`, `"call":"SV"`, `"cat":"wait"`, `"cat":"send"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+	if again := emit(); !bytes.Equal(data, again) {
+		t.Error("two runs produced different trace bytes")
+	}
+	golden := filepath.Join("testdata", "tiny_trace.json")
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("trace differs from %s (GOLDEN_UPDATE=1 to regenerate)", golden)
+	}
+}
+
+// The -profile flag appends the per-callsite table to the report.
+func TestRunProfileFlag(t *testing.T) {
+	out, err := runWith(t, options{mach: "t3d", lib: "pvm", procs: 4, level: "pl",
+		profile: true, args: []string{writeTemp(t, laplaceSrc)}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{
+		"Per-callsite communication profile",
+		"callsite", "hoisted", "also covers",
+		"U@[0,1,0]", // the east-shift transfer, attributed to its use
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The -metrics flag prints the registry; -metrics-json writes it as JSON.
+func TestRunMetricsFlags(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "metrics.json")
+	out, err := runWith(t, options{mach: "t3d", lib: "pvm", procs: 4, level: "pl",
+		metrics: true, metricsJSON: jsonPath, args: []string{writeTemp(t, laplaceSrc)}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"counter  messages", "counter  bytes_sent", "hist     message_size_bytes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Counters []struct {
+			Name string `json:"name"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if len(parsed.Counters) == 0 {
+		t.Error("metrics JSON has no counters")
+	}
+}
+
+// Unwritable output paths for the new flags surface as wrapped errors.
+func TestRunObservabilityErrors(t *testing.T) {
+	good := writeTemp(t, laplaceSrc)
+	bad := filepath.Join(t.TempDir(), "missing-dir", "out.json")
+	if _, err := runWith(t, options{mach: "t3d", lib: "pvm", procs: 4, level: "pl",
+		tracePath: bad, args: []string{good}}); err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Errorf("unwritable -trace path: err = %v", err)
+	}
+	if _, err := runWith(t, options{mach: "t3d", lib: "pvm", procs: 4, level: "pl",
+		metricsJSON: bad, args: []string{good}}); err == nil || !strings.Contains(err.Error(), "metrics") {
+		t.Errorf("unwritable -metrics-json path: err = %v", err)
 	}
 }

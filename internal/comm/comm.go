@@ -19,6 +19,7 @@ import (
 
 	"commopt/internal/grid"
 	"commopt/internal/ir"
+	"commopt/internal/zpl"
 )
 
 // Heuristic selects how communication combination trades message count
@@ -131,6 +132,20 @@ func (k CallKind) String() string {
 	return "?"
 }
 
+// Site is one source-level communication callsite a transfer serves: the
+// position of the statement whose array use required the data, and the
+// use itself. The emit pass records one site per baseline transfer;
+// later passes fold the sites of dropped or merged transfers into the
+// surviving transfer, so a plan's sites always partition the program's
+// communicating uses and per-callsite profiles stay total.
+type Site struct {
+	Pos zpl.Pos
+	Use ir.ArrayUse
+}
+
+// String renders the site like "12:7 U@[0,1,0]".
+func (s Site) String() string { return fmt.Sprintf("%s %s", s.Pos, s.Use) }
+
 // Transfer is a single data movement: one or more arrays (combined),
 // one offset, and positions for the four IRONMAN calls. Positions are
 // statement-boundary indices within the block: a call at position p
@@ -142,12 +157,34 @@ type Transfer struct {
 	Items  []*ir.ArraySym
 	Region ir.RegionExpr // region of the first-use statement
 
+	// Sites lists every source callsite whose communication this transfer
+	// delivers, in block statement order; Sites[0] is the earliest use
+	// (the transfer's primary attribution point).
+	Sites []Site
+
 	DRPos, SRPos, DNPos, SVPos int
 	UseIdx                     int // statement index of the earliest use
 
 	// Hoisted marks a loop-invariant transfer executed in the enclosing
 	// loop's preheader instead of inside the block.
 	Hoisted bool
+}
+
+// absorbSites appends another transfer's callsites, skipping exact
+// duplicates, so dropping or merging a transfer never loses attribution.
+func (t *Transfer) absorbSites(o *Transfer) {
+	for _, s := range o.Sites {
+		dup := false
+		for _, have := range t.Sites {
+			if have == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			t.Sites = append(t.Sites, s)
+		}
+	}
 }
 
 // Carries reports whether the transfer moves array a.

@@ -46,6 +46,7 @@ func (ccPass) Run(c *BlockContext) {
 			if g.Carries(t.Items[0]) {
 				// Same array, same offset, still valid at t's use: the
 				// group already delivers it (only reachable without rr).
+				g.absorbSites(t)
 				c.Stats.Dropped++
 				merged = true
 				break
@@ -74,6 +75,7 @@ func (ccPass) Run(c *BlockContext) {
 				}
 			}
 			g.Items = append(g.Items, t.Items[0])
+			g.absorbSites(t)
 			placeSync(c, g)
 			c.Stats.Merged++
 			merged = true

@@ -22,6 +22,7 @@ func (emitPass) Run(c *BlockContext) {
 				Offset: u.Off,
 				Items:  []*ir.ArraySym{u.Array},
 				Region: reg,
+				Sites:  []Site{{Pos: ir.PosOf(s), Use: u}},
 				UseIdx: i,
 			}
 			c.nextID++

@@ -28,6 +28,7 @@ func (rrPass) Run(c *BlockContext) {
 		// statement invalidates too: uses execute before the statement's
 		// write, so LastDefBefore excludes only defs at t's own statement).
 		if g := cached[k]; g != nil && c.Analysis.LastDefBefore(t.Items[0], t.UseIdx) < g.UseIdx {
+			g.absorbSites(t) // the kept transfer now serves this callsite too
 			c.Stats.Dropped++
 			continue
 		}

@@ -8,6 +8,9 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"commopt/internal/comm"
@@ -15,6 +18,7 @@ import (
 	"commopt/internal/machine"
 	"commopt/internal/programs"
 	"commopt/internal/rt"
+	"commopt/internal/trace"
 	"commopt/internal/vtime"
 	"commopt/internal/zpl"
 )
@@ -65,9 +69,15 @@ type Runner struct {
 	Procs int  // default 64
 	Quick bool // use the reduced calibration sizes
 
+	// TraceDir, when non-empty, writes a Chrome trace-event JSON timeline
+	// (virtual time, one row per processor) for every benchmark×experiment
+	// run into the directory, named <bench>_<experiment>.trace.json.
+	TraceDir string
+
 	mu       sync.Mutex
 	programs map[string]*compiled
 	cells    map[string]Cell
+	profiles map[string][]rt.CallsiteProfile
 }
 
 type compiled struct {
@@ -82,7 +92,7 @@ func NewRunner(procs int) *Runner {
 	if procs == 0 {
 		procs = 64
 	}
-	return &Runner{Procs: procs, programs: map[string]*compiled{}, cells: map[string]Cell{}}
+	return &Runner{Procs: procs, programs: map[string]*compiled{}, cells: map[string]Cell{}, profiles: map[string][]rt.CallsiteProfile{}}
 }
 
 func (r *Runner) compiledFor(name string) (*compiled, error) {
@@ -132,14 +142,25 @@ func (r *Runner) Cell(benchName, expKey string) (Cell, error) {
 	if r.Quick {
 		cfg = c.bench.CalibConfig
 	}
-	res, err := rt.Run(c.prog, plan, rt.Config{
+	rtCfg := rt.Config{
 		Machine:    machine.T3D(),
 		Library:    exp.Library,
 		Procs:      r.Procs,
 		ConfigVars: cfg,
-	})
+	}
+	var rec *trace.Recorder
+	if r.TraceDir != "" {
+		rec = trace.NewRecorder()
+		rtCfg.Trace = rec
+	}
+	res, err := rt.Run(c.prog, plan, rtCfg)
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s/%s: %w", benchName, expKey, err)
+	}
+	if rec != nil {
+		if err := writeTraceFile(r.TraceDir, benchName, expKey, rec); err != nil {
+			return Cell{}, err
+		}
 	}
 	// The static count comes off the pipeline trace: the final pass's
 	// output count, which Build also records as plan.StaticCount.
@@ -152,6 +173,25 @@ func (r *Runner) Cell(benchName, expKey string) (Cell, error) {
 	}
 	r.cells[cacheKey] = cell
 	return cell, nil
+}
+
+// writeTraceFile renders one recorded run as Chrome trace-event JSON in
+// dir, named <bench>_<experiment>.trace.json with spaces dashed so the
+// "pl with shmem" key produces a shell-friendly name.
+func writeTraceFile(dir, benchName, expKey string, rec *trace.Recorder) error {
+	name := benchName + "_" + strings.ReplaceAll(expKey, " ", "-") + ".trace.json"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := trace.WriteChrome(f, rec); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
 }
 
 // BenchNames returns the suite's benchmark names in the paper's order.

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"commopt/internal/comm"
+	"commopt/internal/machine"
+	"commopt/internal/report"
+	"commopt/internal/rt"
+)
+
+// ProfileRows runs (or recalls) one benchmark under one experiment with
+// per-callsite profiling enabled and returns the profile rows. Profiled
+// runs are cached separately from Cell's so that the figure and table
+// outputs are produced by instrumentation-free runs.
+func (r *Runner) ProfileRows(benchName, expKey string) ([]rt.CallsiteProfile, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cacheKey := benchName + "/" + expKey
+	if rows, ok := r.profiles[cacheKey]; ok {
+		return rows, nil
+	}
+	exp, err := ExperimentByKey(expKey)
+	if err != nil {
+		return nil, err
+	}
+	c, err := r.compiledFor(benchName)
+	if err != nil {
+		return nil, err
+	}
+	optKey := exp.Options.String()
+	plan, ok := c.plans[optKey]
+	if !ok {
+		plan = comm.BuildPlan(c.prog, exp.Options)
+		c.plans[optKey] = plan
+	}
+	cfg := c.bench.PaperConfig
+	if r.Quick {
+		cfg = c.bench.CalibConfig
+	}
+	res, err := rt.Run(c.prog, plan, rt.Config{
+		Machine:    machine.T3D(),
+		Library:    exp.Library,
+		Procs:      r.Procs,
+		ConfigVars: cfg,
+		Profile:    true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", benchName, expKey, err)
+	}
+	r.profiles[cacheKey] = res.Profile
+	return res.Profile, nil
+}
+
+// ProfileAppendix builds the "where did the time go" table for one
+// benchmark under one experiment: each communicating callsite of the ZPL
+// source with the messages, bytes, communication overhead and blocking
+// wait attributed to it across all processors.
+func ProfileAppendix(r *Runner, benchName, expKey string) (*report.Table, error) {
+	rows, err := r.ProfileRows(benchName, expKey)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Where did the time go: %s under %s (all processors, virtual time)", benchName, expKey),
+		Headers: []string{"callsite", "transfer", "hoisted", "SR calls", "messages", "KB", "comm ms", "wait ms", "also covers"},
+	}
+	for _, row := range rows {
+		hoisted := ""
+		if row.Hoisted {
+			hoisted = "yes"
+		}
+		covers := make([]string, 0, len(row.Covers))
+		for _, p := range row.Covers {
+			covers = append(covers, p.String())
+		}
+		t.AddRow(row.Pos.String(), row.Label, hoisted, row.Calls, row.Messages,
+			fmt.Sprintf("%.1f", float64(row.Bytes)/1024),
+			fmt.Sprintf("%.3f", float64(row.Comm)/1e6),
+			fmt.Sprintf("%.3f", float64(row.Wait)/1e6),
+			strings.Join(covers, " "))
+	}
+	return t, nil
+}
+
+// RunProfiles writes the profile appendix of every benchmark under the
+// baseline and fully pipelined experiments, so the movement of wait time
+// into overlapped communication is visible side by side. It is not part
+// of RunAll: the figure and table outputs stay byte-identical whether or
+// not profiling is ever requested.
+func RunProfiles(w io.Writer, r *Runner) error {
+	for _, name := range BenchNames() {
+		for _, key := range []string{"baseline", "pl"} {
+			t, err := ProfileAppendix(r, name, key)
+			if err != nil {
+				return err
+			}
+			t.Render(w)
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"commopt/internal/comm"
 	"commopt/internal/grid"
 	"commopt/internal/machine"
+	"commopt/internal/trace"
 	"commopt/internal/vtime"
 )
 
@@ -122,7 +123,41 @@ func (p *proc) state(t *comm.Transfer) *xferState {
 }
 
 // execCall performs one IRONMAN call under the current library binding.
+// With observability enabled it brackets the call to attribute the
+// clock's communication and wait deltas (and any messages sent) to the
+// transfer's source callsites, and records the call as a trace span.
 func (p *proc) execCall(c comm.Call) {
+	if p.tr == nil && p.prof == nil && p.met == nil {
+		p.dispatchCall(c)
+		return
+	}
+	start := p.clock
+	comm0, wait0 := p.commT, p.waitT
+	msgs0, bytes0 := p.messages, p.bytesSent
+	p.dispatchCall(c)
+	if p.met != nil {
+		p.met.calls[c.Kind]++
+	}
+	if p.prof != nil {
+		a := p.acc(c.T)
+		a.comm += p.commT - comm0
+		a.wait += p.waitT - wait0
+		a.msgs += p.messages - msgs0
+		a.bytes += p.bytesSent - bytes0
+		if c.Kind == comm.SR {
+			a.calls++
+		}
+	}
+	if p.tr != nil {
+		p.tr.Add(trace.Event{
+			Kind: trace.KindCall, Start: start, Dur: p.clock.Sub(start),
+			Name: p.callLabel(c.Kind, c.T), A0: int64(c.Kind), A1: p.bytesSent - bytes0,
+		})
+	}
+}
+
+// dispatchCall routes one IRONMAN call to its executor.
+func (p *proc) dispatchCall(c comm.Call) {
 	lib := p.w.lib
 	st := p.state(c.T)
 	switch c.Kind {
@@ -189,7 +224,7 @@ func (p *proc) execSR(t *comm.Transfer, st *xferState, lib *machine.Lib) {
 			case <-p.w.abort:
 				panic(errAborted)
 			}
-			p.waitUntil(tok)
+			p.waitFor(tok, "wait ready")
 		}
 		if pr.bytes > 0 {
 			p.chargeComm(lib.SRCost + machine.PerByteDur(lib.SRPerByte, pr.bytes))
@@ -219,6 +254,12 @@ func (p *proc) send(t *comm.Transfer, pr pairRect, lib *machine.Lib) {
 	if pr.bytes > 0 {
 		p.messages++
 		p.bytesSent += int64(pr.bytes)
+		if p.met != nil {
+			p.met.msgSize.Observe(int64(pr.bytes))
+		}
+		if p.tr != nil {
+			p.tr.Add(trace.Event{Kind: trace.KindSend, Start: p.clock, Name: "send", A0: int64(pr.peer), A1: int64(pr.bytes)})
+		}
 	}
 	select {
 	case p.w.procs[pr.peer].in[p.rank] <- m:
@@ -236,9 +277,12 @@ func (p *proc) execDN(t *comm.Transfer, st *xferState, lib *machine.Lib) {
 		if m.bytes != pr.bytes {
 			panic(fmt.Sprintf("rt: message size mismatch from %d: got %d want %d bytes", pr.peer, m.bytes, pr.bytes))
 		}
-		p.waitUntil(m.avail)
+		p.waitFor(m.avail, "wait data")
 		if pr.bytes > 0 {
 			p.chargeComm(lib.DNCost + machine.PerByteDur(lib.DNPerByte, pr.bytes))
+			if p.tr != nil {
+				p.tr.Add(trace.Event{Kind: trace.KindRecv, Start: p.clock, Name: "recv", A0: int64(pr.peer), A1: int64(pr.bytes)})
+			}
 		} else {
 			p.chargeComm(lib.SynchEmptyCost)
 		}

@@ -9,6 +9,7 @@ import (
 	"commopt/internal/field"
 	"commopt/internal/grid"
 	"commopt/internal/ir"
+	"commopt/internal/trace"
 	"commopt/internal/vtime"
 )
 
@@ -52,6 +53,15 @@ type proc struct {
 	xfers  map[*comm.Transfer]*xferState
 
 	rng uint64 // deterministic per-processor jitter stream
+
+	// Observability (all nil/zero when disabled, so every recording point
+	// is a single nil check on the fast path; see observe.go).
+	tr         *trace.Buffer               // virtual-time event ring
+	prof       map[*comm.Transfer]*profAcc // per-callsite communication profile
+	met        *procMetrics                // metric instruments
+	engine     int64                       // trace engine code of the last array statement
+	stmtLabels map[ir.Stmt]string
+	callLabels map[*comm.Transfer][4]string
 }
 
 // jittered scales a compute cost by the machine's jitter factor, drawn
@@ -232,6 +242,24 @@ func (p *proc) block(stmts []ir.Stmt) {
 }
 
 func (p *proc) stmt(s ir.Stmt) {
+	if p.tr == nil && p.met == nil {
+		p.stmtExec(s)
+		return
+	}
+	start := p.clock
+	p.engine = trace.EngineScalar
+	p.stmtExec(s)
+	d := p.clock.Sub(start)
+	if p.met != nil {
+		p.met.stmtDur.Observe(int64(d))
+		p.met.stmtsByEn[p.engine]++
+	}
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindStmt, Start: start, Dur: d, Name: p.stmtLabel(s), A0: p.engine})
+	}
+}
+
+func (p *proc) stmtExec(s ir.Stmt) {
 	switch s := s.(type) {
 	case *ir.AssignArray:
 		p.assignArray(s)
@@ -241,6 +269,29 @@ func (p *proc) stmt(s ir.Stmt) {
 		p.write(s)
 	default:
 		panic(fmt.Sprintf("rt: unexpected straight-line stmt %T", s))
+	}
+}
+
+// waitFor advances the clock to at least t like waitUntil, additionally
+// recording a non-empty blocked interval as a wait event and a wait-
+// duration observation. The runtime's blocking points (message data,
+// rendezvous tokens, reduction results) all come through here.
+func (p *proc) waitFor(t vtime.Time, what string) {
+	if p.tr == nil && p.met == nil {
+		p.waitUntil(t)
+		return
+	}
+	start := p.clock
+	p.waitUntil(t)
+	d := p.clock.Sub(start)
+	if d <= 0 {
+		return
+	}
+	if p.met != nil {
+		p.met.waitDur.Observe(int64(d))
+	}
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindWait, Start: start, Dur: d, Name: what})
 	}
 }
 
@@ -256,8 +307,10 @@ func (p *proc) assignArray(s *ir.AssignArray) {
 	if !local.Empty() {
 		size = local.Size()
 		if k := p.kernelFor(s, local); k != nil {
+			p.engine = trace.EngineKernel
 			k.run(p)
 		} else {
+			p.engine = trace.EngineInterp
 			p.assignArrayInterp(s, f, local, size)
 		}
 	}
@@ -331,6 +384,7 @@ func (p *proc) allreduce(op ir.ReduceOp, val float64) float64 {
 	seq := p.redSeq
 	p.redSeq++
 	p.reductions++
+	redStart := p.clock
 	p.sendRed(redMsg{seq: seq, rank: p.rank, val: val, t: p.clock})
 
 	if p.rank == 0 {
@@ -374,8 +428,11 @@ func (p *proc) allreduce(op ir.ReduceOp, val float64) float64 {
 	// One tree level costs a full transfer handshake; for rendezvous
 	// libraries that includes the destination-ready synchronization.
 	hop := w.lib.DRCost + w.lib.SRCost + w.lib.DNCost + 2*w.lib.Latency
-	p.waitUntil(m.t)
+	p.waitFor(m.t, "wait reduce")
 	p.chargeComm(vtime.Duration(levels) * hop)
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindReduce, Start: redStart, Dur: p.clock.Sub(redStart), Name: "allreduce " + op.String()})
+	}
 	return m.val
 }
 

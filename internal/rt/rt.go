@@ -22,6 +22,8 @@ import (
 	"commopt/internal/grid"
 	"commopt/internal/ir"
 	"commopt/internal/machine"
+	"commopt/internal/metrics"
+	"commopt/internal/trace"
 	"commopt/internal/vtime"
 )
 
@@ -39,6 +41,24 @@ type Config struct {
 	// closure interpreter. Simulated results must be identical either
 	// way; the flag exists for differential testing and benchmarking.
 	ForceInterpreter bool
+
+	// Trace, when non-nil, records virtual-time-stamped events (IRONMAN
+	// calls, message sends/receives, statement executions, reductions and
+	// blocking waits) into the recorder's per-processor ring buffers.
+	// Tracing never changes simulated results; when nil, the runtime's
+	// fast path is a single pointer check per instrumentation point.
+	Trace *trace.Recorder
+
+	// Profile enables the per-callsite communication profile
+	// (Result.Profile): every transfer's executed messages, bytes,
+	// communication overhead and blocking waits attributed back to the
+	// ZPL source positions the comm plan records on it.
+	Profile bool
+
+	// Metrics enables the run's metrics registry (Result.Metrics):
+	// counters plus fixed-bucket histograms of message sizes, wait
+	// durations and statement times.
+	Metrics bool
 }
 
 // Result reports one run's outcome.
@@ -57,19 +77,43 @@ type Result struct {
 
 	// Breakdown attributes the critical-path processor's virtual time to
 	// computation, communication software overhead (the paper's "exposed"
-	// cost) and blocking waits; PerProc holds every processor's split.
+	// cost) and blocking waits. PerProc holds every processor's split,
+	// ordered by processor rank: PerProc[r] belongs to the processor with
+	// rank r (row-major mesh order, rank = row*Cols + col); use
+	// ProcBreakdown for checked access.
 	Breakdown Breakdown
 	PerProc   []Breakdown
+
+	// Profile is the per-callsite communication profile (one row per plan
+	// transfer, attributed to its source callsites), sorted by source
+	// position. Nil unless Config.Profile was set.
+	Profile []CallsiteProfile
+
+	// Metrics is the run's merged metrics registry. Nil unless
+	// Config.Metrics was set.
+	Metrics *metrics.Registry
 
 	Mesh   grid.Mesh
 	arrays map[string]*Dense
 }
 
-// Breakdown is one processor's virtual-time attribution.
+// ProcBreakdown returns the virtual-time breakdown of the processor with
+// the given rank, and whether the rank is in range.
+func (r *Result) ProcBreakdown(rank int) (Breakdown, bool) {
+	if rank < 0 || rank >= len(r.PerProc) {
+		return Breakdown{}, false
+	}
+	return r.PerProc[rank], true
+}
+
+// Breakdown is one processor's virtual-time attribution. Every clock
+// advance is charged to exactly one category, so Compute + Comm + Wait
+// always equals Finish (the invariant TestBreakdownSumsToFinish checks).
 type Breakdown struct {
 	Compute vtime.Duration
 	Comm    vtime.Duration
 	Wait    vtime.Duration
+	Finish  vtime.Duration // the processor's final clock value
 }
 
 // Total returns the sum of the categories.
@@ -305,6 +349,27 @@ func (w *world) setup(cfg Config) error {
 	for _, p := range w.procs {
 		p.allocate()
 	}
+
+	// Observability wiring: each processor gets its own ring buffer,
+	// profile map and metrics registry, so recording needs no locks and
+	// the disabled fast path stays a nil check.
+	if cfg.Trace != nil {
+		cfg.Trace.Init(w.mesh.Size())
+		for _, p := range w.procs {
+			p.tr = cfg.Trace.Buffer(p.rank)
+			cfg.Trace.SetProcLabel(p.rank, fmt.Sprintf("proc %d (%d,%d)", p.rank, p.row, p.col))
+		}
+	}
+	if cfg.Profile {
+		for _, p := range w.procs {
+			p.prof = map[*comm.Transfer]*profAcc{}
+		}
+	}
+	if cfg.Metrics {
+		for _, p := range w.procs {
+			p.met = newProcMetrics()
+		}
+	}
 	return nil
 }
 
@@ -399,7 +464,7 @@ func evalRegionBounds(ev *scalarEnv, rank int, bounds [grid.MaxRank][2]ir.Expr) 
 func (w *world) gather() *Result {
 	res := &Result{Mesh: w.mesh, arrays: map[string]*Dense{}}
 	for _, p := range w.procs {
-		bd := Breakdown{Compute: p.computeT, Comm: p.commT, Wait: p.waitT}
+		bd := Breakdown{Compute: p.computeT, Comm: p.commT, Wait: p.waitT, Finish: vtime.Duration(p.clock)}
 		res.PerProc = append(res.PerProc, bd)
 		if t := vtime.Duration(p.clock); t > res.ExecTime {
 			res.ExecTime = t
@@ -412,6 +477,8 @@ func (w *world) gather() *Result {
 	res.DynamicTransfers = p0.dynTransfers
 	res.Reductions = p0.reductions
 	res.Output = p0.output.String()
+	res.Profile = w.gatherProfile()
+	res.Metrics = w.gatherMetrics()
 
 	for _, a := range w.prog.Arrays {
 		reg := w.regionVals[a.Region.ID]

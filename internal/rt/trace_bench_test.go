@@ -1,0 +1,149 @@
+package rt
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"commopt/internal/comm"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/trace"
+	"commopt/internal/zpl"
+)
+
+// traceBenchSrc is a communication-heavy stencil loop: enough transfers,
+// waits and statements that instrumentation cost would show, small enough
+// that one run is microseconds.
+const traceBenchSrc = `program tbench;
+config var n : integer = 32;
+config var iters : integer = 8;
+region R = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+direction east = [0, 1]; west = [0, -1]; north = [-1, 0]; south = [1, 0];
+var U, V : [R] float;
+var resid : float;
+procedure main();
+begin
+  [R] U := Index1 + Index2;
+  for t := 1 to iters do
+    [Int] begin
+      V := 0.25 * (U@east + U@west + U@north + U@south);
+      resid := max<< abs(V - U);
+      U := V;
+    end;
+  end;
+end;
+`
+
+// benchObserved runs traceBenchSrc with the given observability settings
+// applied to the base config. withTrace allocates a fresh recorder per
+// iteration, matching how a traced run is actually invoked.
+func benchObserved(b *testing.B, withTrace, profile, metrics bool) {
+	b.Helper()
+	ast, err := zpl.Parse(traceBenchSrc)
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		b.Fatalf("lower: %v", err)
+	}
+	plan := comm.BuildPlan(prog, comm.PL())
+	cfg := Config{Machine: machine.T3D(), Library: "pvm", Procs: 4, Profile: profile, Metrics: metrics}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if withTrace {
+			cfg.Trace = trace.NewRecorder()
+		}
+		if _, err := Run(prog, plan, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceOff is the disabled fast path: every instrumentation
+// point reduces to a nil pointer check. BENCH_trace.json snapshots its
+// cost next to the enabled variants.
+func BenchmarkTraceOff(b *testing.B) { benchObserved(b, false, false, false) }
+
+// BenchmarkTraceOn records every event kind into per-processor rings.
+func BenchmarkTraceOn(b *testing.B) { benchObserved(b, true, false, false) }
+
+// BenchmarkProfileOn accumulates the per-callsite profile only.
+func BenchmarkProfileOn(b *testing.B) { benchObserved(b, false, true, false) }
+
+// BenchmarkMetricsOn feeds the per-processor metric registries only.
+func BenchmarkMetricsOn(b *testing.B) { benchObserved(b, false, false, true) }
+
+// traceBenchReport is the wire form of BENCH_trace.json.
+type traceBenchReport struct {
+	Benchmark   string  `json:"benchmark"`
+	Grid        string  `json:"grid"`
+	Procs       int     `json:"procs"`
+	OffNsOp     int64   `json:"off_ns_per_op"`
+	OnNsOp      int64   `json:"on_ns_per_op"`
+	ProfileNsOp int64   `json:"profile_ns_per_op"`
+	MetricsNsOp int64   `json:"metrics_ns_per_op"`
+	OnOverOff   float64 `json:"on_over_off"`
+}
+
+// TestEmitTraceBenchJSON regenerates BENCH_trace.json, the checked-in
+// snapshot of the observability overhead benchmarks. Skipped unless
+// BENCH_TRACE_JSON names the output file:
+//
+//	BENCH_TRACE_JSON=$PWD/BENCH_trace.json go test ./internal/rt -run TestEmitTraceBenchJSON -count=1
+func TestEmitTraceBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_TRACE_JSON")
+	if path == "" {
+		t.Skip("set BENCH_TRACE_JSON=<output path> to emit trace benchmark numbers")
+	}
+	off := testing.Benchmark(BenchmarkTraceOff)
+	on := testing.Benchmark(BenchmarkTraceOn)
+	prof := testing.Benchmark(BenchmarkProfileOn)
+	met := testing.Benchmark(BenchmarkMetricsOn)
+	report := traceBenchReport{
+		Benchmark: "BenchmarkTrace", Grid: "32x32, 8 iterations", Procs: 4,
+		OffNsOp: off.NsPerOp(), OnNsOp: on.NsPerOp(),
+		ProfileNsOp: prof.NsPerOp(), MetricsNsOp: met.NsPerOp(),
+		OnOverOff: float64(on.NsPerOp()) / float64(off.NsPerOp()),
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceOffOverhead guards the "near-zero overhead when disabled"
+// contract against the checked-in snapshot: the disabled path may not be
+// grossly slower than when BENCH_trace.json was recorded, and enabling
+// tracing may not blow past the recorded ratio. Wall-clock comparisons
+// across machines are noisy, so both gates carry generous headroom and
+// the test only runs when TRACE_BENCH is set (the CI trace-smoke job).
+func TestTraceOffOverhead(t *testing.T) {
+	if os.Getenv("TRACE_BENCH") == "" {
+		t.Skip("set TRACE_BENCH=1 to compare against BENCH_trace.json")
+	}
+	data, err := os.ReadFile("../../BENCH_trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap traceBenchReport
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	off := testing.Benchmark(BenchmarkTraceOff).NsPerOp()
+	on := testing.Benchmark(BenchmarkTraceOn).NsPerOp()
+	if limit := 3 * snap.OffNsOp; off > limit {
+		t.Errorf("disabled-path run costs %d ns/op, over 3x the snapshot's %d ns/op", off, snap.OffNsOp)
+	}
+	ratio := float64(on) / float64(off)
+	if limit := 2.5 * snap.OnOverOff; ratio > limit {
+		t.Errorf("tracing-on/off ratio %.2f, over 2.5x the snapshot's %.2f", ratio, snap.OnOverOff)
+	}
+	t.Logf("off %d ns/op (snapshot %d), on/off ratio %.2f (snapshot %.2f)", off, snap.OffNsOp, ratio, snap.OnOverOff)
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is the stable wire form of one Chrome trace event. Field
+// order is the emission order (encoding/json preserves struct order), so
+// output is deterministic and diffable.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds of virtual time
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// callKindNames maps a KindCall event's A0 to the IRONMAN call name; it
+// mirrors comm.CallKind order without importing the package.
+var callKindNames = [...]string{"DR", "SR", "DN", "SV"}
+
+// WriteChrome renders a finished recording as Chrome trace-event JSON
+// (the object form, loadable in Perfetto and chrome://tracing): one
+// timeline row per virtual processor (tid = rank), spans for IRONMAN
+// calls, statements, waits and reductions, and thread-scoped instant
+// events for message sends and receives. Timestamps are virtual-time
+// microseconds, so identical runs produce identical files.
+func WriteChrome(w io.Writer, r *Recorder) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+		_, err = w.Write(data)
+		return err
+	}
+
+	if err := emit(chromeEvent{Name: "process_name", Ph: "M", Args: map[string]any{"name": "zpl simulated machine"}}); err != nil {
+		return err
+	}
+	for rank := 0; rank < r.Procs(); rank++ {
+		label := r.ProcLabel(rank)
+		if label == "" {
+			label = fmt.Sprintf("proc %d", rank)
+		}
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Tid: rank, Args: map[string]any{"name": label}}); err != nil {
+			return err
+		}
+	}
+
+	for rank := 0; rank < r.Procs(); rank++ {
+		events := append([]Event(nil), r.Buffer(rank).Events()...)
+		// Spans recorded at completion can start before an inner span
+		// already recorded (a reduction wraps its wait). Chrome wants
+		// non-decreasing timestamps with parents before children, so sort
+		// by start time, longest span first on ties.
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].Start != events[j].Start {
+				return events[i].Start < events[j].Start
+			}
+			return events[i].Dur > events[j].Dur
+		})
+		for _, e := range events {
+			ce := chromeEvent{
+				Name: e.Name,
+				Cat:  e.Kind.String(),
+				Ts:   float64(e.Start) / 1000,
+				Tid:  rank,
+			}
+			switch e.Kind {
+			case KindSend:
+				ce.Ph, ce.Scope = "i", "t"
+				ce.Args = map[string]any{"to": e.A0, "bytes": e.A1}
+			case KindRecv:
+				ce.Ph, ce.Scope = "i", "t"
+				ce.Args = map[string]any{"from": e.A0, "bytes": e.A1}
+			case KindCall:
+				ce.Ph = "X"
+				ce.Dur = float64(e.Dur) / 1000
+				call := "?"
+				if e.A0 >= 0 && int(e.A0) < len(callKindNames) {
+					call = callKindNames[e.A0]
+				}
+				ce.Args = map[string]any{"call": call, "bytes": e.A1}
+			case KindStmt:
+				ce.Ph = "X"
+				ce.Dur = float64(e.Dur) / 1000
+				engine := "scalar"
+				switch e.A0 {
+				case EngineKernel:
+					engine = "kernel"
+				case EngineInterp:
+					engine = "interp"
+				}
+				ce.Args = map[string]any{"engine": engine}
+			default:
+				ce.Ph = "X"
+				ce.Dur = float64(e.Dur) / 1000
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\"virtual\",\"droppedEvents\":%d}}\n", r.Dropped())
+	return err
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// rawEvent mirrors one trace event for validation; pointer fields detect
+// missing required keys.
+type rawEvent struct {
+	Name *string  `json:"name"`
+	Ph   *string  `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+}
+
+// ValidateChrome checks serialized trace-event JSON against the subset of
+// the Chrome trace-event schema this package emits: the top-level object
+// with a traceEvents array, the required keys on every event (name, ph,
+// ts, pid, tid), known phase codes, non-negative durations, and — per
+// timeline row — non-decreasing timestamps in file order. It returns the
+// first violation found, or nil for a valid trace.
+func ValidateChrome(data []byte) error {
+	var top struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("trace: not a JSON object: %w", err)
+	}
+	if top.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	lastTs := map[int]float64{}
+	for i, raw := range top.TraceEvents {
+		var e rawEvent
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		switch {
+		case e.Name == nil:
+			return fmt.Errorf("trace: event %d: missing required key %q", i, "name")
+		case e.Ph == nil:
+			return fmt.Errorf("trace: event %d: missing required key %q", i, "ph")
+		case e.Ts == nil:
+			return fmt.Errorf("trace: event %d: missing required key %q", i, "ts")
+		case e.Pid == nil:
+			return fmt.Errorf("trace: event %d: missing required key %q", i, "pid")
+		case e.Tid == nil:
+			return fmt.Errorf("trace: event %d: missing required key %q", i, "tid")
+		}
+		switch *e.Ph {
+		case "M":
+			continue // metadata rows carry no timeline position
+		case "X":
+			if e.Dur != nil && *e.Dur < 0 {
+				return fmt.Errorf("trace: event %d (%s): negative dur %g", i, *e.Name, *e.Dur)
+			}
+		case "i":
+			// thread-scoped instant; nothing further to check
+		default:
+			return fmt.Errorf("trace: event %d (%s): unknown phase %q", i, *e.Name, *e.Ph)
+		}
+		if *e.Ts < 0 {
+			return fmt.Errorf("trace: event %d (%s): negative ts %g", i, *e.Name, *e.Ts)
+		}
+		if last, ok := lastTs[*e.Tid]; ok && *e.Ts < last {
+			return fmt.Errorf("trace: event %d (%s): ts %g before previous ts %g on tid %d", i, *e.Name, *e.Ts, last, *e.Tid)
+		}
+		lastTs[*e.Tid] = *e.Ts
+	}
+	return nil
+}

@@ -324,7 +324,7 @@ func estimateSWMBytes(*ir.ArraySym, grid.Offset) int { return 64 * 8 }
 // experiment for SWM and reports the 16-processor speedup.
 func BenchmarkScalingSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Scaling("swm", []int{1, 4, 16}, true); err != nil {
+		if _, err := experiments.Scaling("swm", []int{1, 4, 16}, true, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -27,6 +27,7 @@ func main() {
 	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, profile")
 	procs := flag.Int("procs", 64, "processors in the simulated partition")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	workers := flag.Int("workers", 0, "benchmark×experiment cells simulated concurrently (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON timeline per benchmark×experiment run into `dir`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to `file` on exit")
@@ -47,6 +48,7 @@ func main() {
 
 	r := experiments.NewRunner(*procs)
 	r.Quick = *quick
+	r.Workers = *workers
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "icpp97:", err)
@@ -115,7 +117,7 @@ func run(exp string, r *experiments.Runner) error {
 		return table(experiments.Fig12(r))
 	case "scaling":
 		for _, name := range experiments.BenchNames() {
-			t, err := experiments.Scaling(name, experiments.DefaultScalingProcs, r.Quick)
+			t, err := experiments.Scaling(name, experiments.DefaultScalingProcs, r.Quick, r.Workers)
 			if err != nil {
 				return err
 			}

@@ -61,6 +61,7 @@ type options struct {
 	profile     bool   // print the per-callsite communication profile
 	metrics     bool   // print the metrics registry as text
 	metricsJSON string // write the metrics registry as JSON here ("" = off)
+	legacyComm  bool   // per-rectangle allocating comm path (oracle)
 	args        []string
 }
 
@@ -75,6 +76,7 @@ func main() {
 	flag.BoolVar(&o.profile, "profile", false, "print the per-callsite communication profile")
 	flag.BoolVar(&o.metrics, "metrics", false, "print the run's metrics registry (counters and histograms)")
 	flag.StringVar(&o.metricsJSON, "metrics-json", "", "write the metrics registry as JSON to `file`")
+	flag.BoolVar(&o.legacyComm, "legacy-comm", false, "use the allocating per-rectangle communication path instead of the pooled pack/unpack engine (identical results, differential oracle)")
 	flag.Var(o.cfg, "set", "override a config variable, e.g. -set n=64 (repeatable)")
 	flag.Parse()
 	o.args = flag.Args()
@@ -138,12 +140,13 @@ func run(w io.Writer, o options) error {
 	}
 	plan := comm.BuildPlan(prog, opts)
 	cfg := rt.Config{
-		Machine:    mach,
-		Library:    o.lib,
-		Procs:      o.procs,
-		ConfigVars: o.cfg,
-		Profile:    o.profile,
-		Metrics:    o.metrics || o.metricsJSON != "",
+		Machine:         mach,
+		Library:         o.lib,
+		Procs:           o.procs,
+		ConfigVars:      o.cfg,
+		Profile:         o.profile,
+		Metrics:         o.metrics || o.metricsJSON != "",
+		ForceLegacyComm: o.legacyComm,
 	}
 	var rec *trace.Recorder
 	if o.tracePath != "" {

@@ -101,6 +101,12 @@ type RunOptions struct {
 	// instead of compiled kernels (differential-testing oracle; results
 	// are identical, only host wall-clock differs).
 	ForceInterpreter bool
+
+	// ForceLegacyComm sends messages through the allocating
+	// ExtractRect/InsertRect path instead of the compiled pack/unpack
+	// engine with pooled buffers (differential-testing oracle; results
+	// are identical, only host wall-clock and allocations differ).
+	ForceLegacyComm bool
 }
 
 // Run executes the program under a plan on the simulated machine.
@@ -124,5 +130,6 @@ func (p *Program) Run(plan *comm.Plan, opts RunOptions) (*rt.Result, error) {
 		Procs:            opts.Procs,
 		ConfigVars:       opts.Configs,
 		ForceInterpreter: opts.ForceInterpreter,
+		ForceLegacyComm:  opts.ForceLegacyComm,
 	})
 }

@@ -242,6 +242,26 @@ type Plan struct {
 // first, or nil.
 func (p *Plan) BlockFor(first ir.Stmt) *BlockPlan { return p.blockByFirst[first] }
 
+// MaxBlockTransfers returns the largest number of transfers any single
+// basic block (or loop preheader) of the plan schedules. The runtime uses
+// it to bound in-flight messages per processor pair: one block execution
+// sends at most this many messages to one peer before draining them all,
+// so channel capacities derived from it can never deadlock.
+func (p *Plan) MaxBlockTransfers() int {
+	max := 0
+	for _, bp := range p.Blocks {
+		if len(bp.Transfers) > max {
+			max = len(bp.Transfers)
+		}
+	}
+	for _, ts := range p.preheader {
+		if len(ts) > max {
+			max = len(ts)
+		}
+	}
+	return max
+}
+
 // Segment is one element of a structured body: either a basic block of
 // straight-line statements or a single control statement.
 type Segment struct {

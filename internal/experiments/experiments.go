@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -65,19 +66,37 @@ type Cell struct {
 }
 
 // Runner executes and caches benchmark runs on the simulated T3D.
+// Independent cells may execute concurrently (see Workers and prefetch):
+// every rt.Run owns its world and virtual time is deterministic, so the
+// measured cells — and therefore every rendered figure and table — are
+// byte-identical at any worker count.
 type Runner struct {
 	Procs int  // default 64
 	Quick bool // use the reduced calibration sizes
+
+	// Workers bounds how many benchmark×experiment cells execute
+	// concurrently when a figure prefetches its inputs. Zero means
+	// GOMAXPROCS; one disables concurrency entirely.
+	Workers int
 
 	// TraceDir, when non-empty, writes a Chrome trace-event JSON timeline
 	// (virtual time, one row per processor) for every benchmark×experiment
 	// run into the directory, named <bench>_<experiment>.trace.json.
 	TraceDir string
 
-	mu       sync.Mutex
+	mu       sync.Mutex // guards the maps and compiled programs/plans
 	programs map[string]*compiled
-	cells    map[string]Cell
+	cells    map[string]*cellEntry
 	profiles map[string][]rt.CallsiteProfile
+}
+
+// cellEntry is one cell's compute-once slot. The once runs outside the
+// Runner lock so independent cells can execute in parallel, while two
+// requests for the same cell still share one run.
+type cellEntry struct {
+	once sync.Once
+	cell Cell
+	err  error
 }
 
 type compiled struct {
@@ -92,9 +111,19 @@ func NewRunner(procs int) *Runner {
 	if procs == 0 {
 		procs = 64
 	}
-	return &Runner{Procs: procs, programs: map[string]*compiled{}, cells: map[string]Cell{}, profiles: map[string][]rt.CallsiteProfile{}}
+	return &Runner{Procs: procs, programs: map[string]*compiled{}, cells: map[string]*cellEntry{}, profiles: map[string][]rt.CallsiteProfile{}}
 }
 
+// workers resolves the effective worker count.
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// compiledFor parses and lowers one benchmark, cached. Callers must hold
+// r.mu.
 func (r *Runner) compiledFor(name string) (*compiled, error) {
 	if c, ok := r.programs[name]; ok {
 		return c, nil
@@ -116,27 +145,49 @@ func (r *Runner) compiledFor(name string) (*compiled, error) {
 	return c, nil
 }
 
-// Cell runs (or recalls) one benchmark under one experiment.
-func (r *Runner) Cell(benchName, expKey string) (Cell, error) {
+// planFor returns the compiled program and plan for one benchmark under
+// one experiment, building and caching either as needed.
+func (r *Runner) planFor(benchName string, exp Experiment) (*compiled, *comm.Plan, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	cacheKey := benchName + "/" + expKey
-	if c, ok := r.cells[cacheKey]; ok {
-		return c, nil
-	}
-	exp, err := ExperimentByKey(expKey)
-	if err != nil {
-		return Cell{}, err
-	}
 	c, err := r.compiledFor(benchName)
 	if err != nil {
-		return Cell{}, err
+		return nil, nil, err
 	}
 	optKey := exp.Options.String()
 	plan, ok := c.plans[optKey]
 	if !ok {
 		plan = comm.BuildPlan(c.prog, exp.Options)
 		c.plans[optKey] = plan
+	}
+	return c, plan, nil
+}
+
+// Cell runs (or recalls) one benchmark under one experiment.
+func (r *Runner) Cell(benchName, expKey string) (Cell, error) {
+	r.mu.Lock()
+	cacheKey := benchName + "/" + expKey
+	e := r.cells[cacheKey]
+	if e == nil {
+		e = &cellEntry{}
+		r.cells[cacheKey] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.cell, e.err = r.runCell(benchName, expKey) })
+	return e.cell, e.err
+}
+
+// runCell executes one cell. Compilation and plan construction go through
+// the Runner lock; the simulated run itself is lock-free, so cells
+// prefetched by different workers execute truly in parallel.
+func (r *Runner) runCell(benchName, expKey string) (Cell, error) {
+	exp, err := ExperimentByKey(expKey)
+	if err != nil {
+		return Cell{}, err
+	}
+	c, plan, err := r.planFor(benchName, exp)
+	if err != nil {
+		return Cell{}, err
 	}
 	cfg := c.bench.PaperConfig
 	if r.Quick {
@@ -164,15 +215,58 @@ func (r *Runner) Cell(benchName, expKey string) (Cell, error) {
 	}
 	// The static count comes off the pipeline trace: the final pass's
 	// output count, which Build also records as plan.StaticCount.
-	cell := Cell{
+	return Cell{
 		Static:   plan.Trace.Final(),
 		Dynamic:  res.DynamicTransfers,
 		Time:     res.ExecTime,
 		Messages: res.Messages,
 		Bytes:    res.BytesSent,
+	}, nil
+}
+
+// prefetch computes the cross product of benchmarks × experiment keys on
+// a worker pool, so a figure's later sequential Cell reads all hit the
+// cache. Errors are not reported here: the figure re-requests each cell
+// in its own deterministic order and surfaces the cached error from the
+// first failing cell it reads, exactly as the serial runner did. Cells
+// already computed cost one once-check, so overlapping prefetches are
+// free.
+func (r *Runner) prefetch(benches, keys []string) {
+	n := len(benches) * len(keys)
+	if w := r.workers(); w < n {
+		n = w
 	}
-	r.cells[cacheKey] = cell
-	return cell, nil
+	if n <= 1 {
+		return
+	}
+	type job struct{ bench, key string }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r.Cell(j.bench, j.key) //nolint:errcheck // surfaced on the ordered read
+			}
+		}()
+	}
+	for _, b := range benches {
+		for _, k := range keys {
+			jobs <- job{b, k}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// ExpKeys returns every experiment key in Figure 9 order.
+func ExpKeys() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.Key)
+	}
+	return out
 }
 
 // writeTraceFile renders one recorded run as Chrome trace-event JSON in

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"commopt/internal/comm"
 	"commopt/internal/machine"
@@ -17,41 +18,74 @@ import (
 // critical path's communication fraction, which shows the
 // surface-to-volume effect that makes the optimizations matter more as
 // partitions grow.
-func Scaling(benchName string, procCounts []int, quick bool) (*report.Table, error) {
+//
+// The partition sizes are independent simulations over one shared
+// compiled program and plan, so they run concurrently on up to workers
+// goroutines (0 = GOMAXPROCS) and merge positionally: the rows, and the
+// speedup base taken from the first row, come out identical to a serial
+// sweep.
+func Scaling(benchName string, procCounts []int, quick bool, workers int) (*report.Table, error) {
 	bench, err := programs.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
 	r := NewRunner(procCounts[0])
+	r.Workers = workers
+	r.mu.Lock()
 	c, err := r.compiledFor(benchName)
+	r.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	plan, ok := c.plans["pl"]
-	if !ok {
-		plan = comm.BuildPlan(c.prog, comm.PL())
-		c.plans["pl"] = plan
-	}
+	plan := comm.BuildPlan(c.prog, comm.PL())
 	cfg := bench.PaperConfig
 	if quick {
 		cfg = bench.CalibConfig
 	}
+
+	results := make([]*rt.Result, len(procCounts))
+	errs := make([]error, len(procCounts))
+	n := r.workers()
+	if n > len(procCounts) {
+		n = len(procCounts)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res, err := rt.Run(c.prog, plan, rt.Config{
+					Machine:    machine.T3D(),
+					Library:    "pvm",
+					Procs:      procCounts[idx],
+					ConfigVars: cfg,
+				})
+				if err != nil {
+					errs[idx] = fmt.Errorf("%s at %d procs: %w", benchName, procCounts[idx], err)
+					continue
+				}
+				results[idx] = res
+			}
+		}()
+	}
+	for idx := range procCounts {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
 
 	t := &report.Table{
 		Title:   fmt.Sprintf("scaling: %s (pl, T3D/PVM) across partition sizes", benchName),
 		Headers: []string{"processors", "mesh", "time (s)", "speedup", "comm+wait share"},
 	}
 	var base float64
-	for _, procs := range procCounts {
-		res, err := rt.Run(c.prog, plan, rt.Config{
-			Machine:    machine.T3D(),
-			Library:    "pvm",
-			Procs:      procs,
-			ConfigVars: cfg,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s at %d procs: %w", benchName, procs, err)
+	for idx, procs := range procCounts {
+		if errs[idx] != nil {
+			return nil, errs[idx]
 		}
+		res := results[idx]
 		secs := res.ExecTime.Seconds()
 		if base == 0 {
 			base = secs

@@ -147,6 +147,46 @@ func (f *Field) ExtractRect(reg grid.Region) []float64 {
 	return out
 }
 
+// RectRun describes a rectangle of the field as a flat copy plan over the
+// backing slice: n0 × n1 rows of rowLen contiguous doubles, the outer
+// index advancing by s0 and the middle by s1 from base. Visiting the rows
+// in (outer, middle) order and each row left to right enumerates exactly
+// the points ForEach visits, so a run-driven copy is order-identical to
+// ExtractRect/InsertRect. The communication engine compiles one RectRun
+// per transfer rectangle so the per-message path does no geometry work.
+type RectRun struct {
+	Base   int // flat index of the rectangle's first element
+	S0, S1 int // outer and middle stride between row starts
+	N0, N1 int // outer and middle trip counts
+	RowLen int // contiguous doubles per row
+}
+
+// Run compiles reg (which must be non-empty and lie inside the halo) into
+// a RectRun. Rows always follow the last dimension of the field's rank,
+// which is contiguous because trailing unused dimensions have extent 1.
+func (f *Field) Run(reg grid.Region) RectRun {
+	if reg.Empty() || !f.Contains(reg) {
+		panic(fmt.Sprintf("field %s: run of %v outside halo %v", f.Name, reg, f.Halo()))
+	}
+	s := reg.Spans
+	base := f.index(s[0].Lo, s[1].Lo, s[2].Lo)
+	switch f.Rank {
+	case 1:
+		// Dimension 0 is contiguous (extent[1]*extent[2] == 1).
+		return RectRun{Base: base, N0: 1, N1: 1, RowLen: s[0].Len()}
+	case 2:
+		// Dimension 1 is contiguous (extent[2] == 1); rows iterate i.
+		return RectRun{Base: base, N0: 1, S1: f.stride[0], N1: s[0].Len(), RowLen: s[1].Len()}
+	default:
+		return RectRun{
+			Base: base,
+			S0:   f.stride[0], N0: s[0].Len(),
+			S1: f.stride[1], N1: s[1].Len(),
+			RowLen: s[2].Len(),
+		}
+	}
+}
+
 // InsertRect stores vals (row-major) into reg. len(vals) must equal
 // reg.Size().
 func (f *Field) InsertRect(reg grid.Region, vals []float64) {

@@ -1,0 +1,168 @@
+// The comm-path benchmarks live in package rt_test so the JSON emitter
+// can also time the end-to-end experiment harness (internal/experiments
+// imports rt, so an in-package test would be an import cycle).
+package rt_test
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"commopt/internal/comm"
+	"commopt/internal/experiments"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/rt"
+	"commopt/internal/zpl"
+)
+
+// commBenchSrc is a message-heavy four-point stencil: enough iterations
+// that the steady-state cost of the communication path — packing,
+// message buffers, stash maps — dominates the one-time cost of building
+// the world, so allocs/op measures the send/receive machinery rather
+// than setup.
+const commBenchSrc = `program cbench;
+config var n : integer = 32;
+config var iters : integer = 256;
+region R = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+direction east = [0, 1]; west = [0, -1]; north = [-1, 0]; south = [1, 0];
+var U, V : [R] float;
+var resid : float;
+procedure main();
+begin
+  [R] U := Index1 + Index2;
+  for t := 1 to iters do
+    [Int] begin
+      V := 0.25 * (U@east + U@west + U@north + U@south);
+      resid := max<< abs(V - U);
+      U := V;
+    end;
+  end;
+end;
+`
+
+// benchCommPath runs commBenchSrc over the pooled engine or the legacy
+// per-rectangle oracle. Both paths simulate identical virtual-time runs;
+// only host allocations and wall-clock differ.
+func benchCommPath(b *testing.B, legacy bool) {
+	b.Helper()
+	ast, err := zpl.Parse(commBenchSrc)
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		b.Fatalf("lower: %v", err)
+	}
+	plan := comm.BuildPlan(prog, comm.PL())
+	cfg := rt.Config{Machine: machine.T3D(), Library: "pvm", Procs: 4, ForceLegacyComm: legacy}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(prog, plan, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommPathPooled sends every message through the compiled
+// pack/unpack schedules with pooled, recycled buffers.
+func BenchmarkCommPathPooled(b *testing.B) { benchCommPath(b, false) }
+
+// BenchmarkCommPathLegacy sends every message through the allocating
+// ExtractRect/InsertRect path (rt.Config.ForceLegacyComm).
+func BenchmarkCommPathLegacy(b *testing.B) { benchCommPath(b, true) }
+
+// commBenchReport is the wire form of BENCH_comm.json.
+type commBenchReport struct {
+	Benchmark      string  `json:"benchmark"`
+	Grid           string  `json:"grid"`
+	Procs          int     `json:"procs"`
+	PooledNsOp     int64   `json:"pooled_ns_per_op"`
+	LegacyNsOp     int64   `json:"legacy_ns_per_op"`
+	PooledAllocsOp int64   `json:"pooled_allocs_per_op"`
+	LegacyAllocsOp int64   `json:"legacy_allocs_per_op"`
+	AllocRatio     float64 `json:"legacy_over_pooled_allocs"`
+
+	// End-to-end: wall-clock seconds for the full icpp97 -quick figure
+	// suite at 4 simulated processors, serial versus one worker per core.
+	E2EWorkers       int     `json:"e2e_workers"`
+	E2ESerialSeconds float64 `json:"e2e_serial_seconds"`
+	E2EParallelSecs  float64 `json:"e2e_parallel_seconds"`
+	E2ESerialOverPar float64 `json:"e2e_serial_over_parallel"`
+}
+
+// runAllSeconds times one full quick figure suite at the given worker
+// count on a fresh Runner (so nothing is cached between measurements).
+func runAllSeconds(t *testing.T, workers int) float64 {
+	t.Helper()
+	r := experiments.NewRunner(4)
+	r.Quick = true
+	r.Workers = workers
+	start := time.Now()
+	if err := experiments.RunAll(io.Discard, r); err != nil {
+		t.Fatalf("RunAll with %d workers: %v", workers, err)
+	}
+	return time.Since(start).Seconds()
+}
+
+// TestEmitCommBenchJSON regenerates BENCH_comm.json, the checked-in
+// snapshot of the communication-path benchmarks. Skipped unless
+// BENCH_COMM_JSON names the output file:
+//
+//	BENCH_COMM_JSON=$PWD/BENCH_comm.json go test ./internal/rt -run TestEmitCommBenchJSON -count=1
+func TestEmitCommBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_COMM_JSON")
+	if path == "" {
+		t.Skip("set BENCH_COMM_JSON=<output path> to emit comm benchmark numbers")
+	}
+	pooled := testing.Benchmark(BenchmarkCommPathPooled)
+	legacy := testing.Benchmark(BenchmarkCommPathLegacy)
+	// At least 4 workers so the pool is exercised even on small hosts;
+	// the recorded speedup honestly reflects the cores available when
+	// the snapshot was taken.
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	serial := runAllSeconds(t, 1)
+	par := runAllSeconds(t, workers)
+	report := commBenchReport{
+		Benchmark: "BenchmarkCommPath", Grid: "32x32, 256 iterations", Procs: 4,
+		PooledNsOp: pooled.NsPerOp(), LegacyNsOp: legacy.NsPerOp(),
+		PooledAllocsOp: pooled.AllocsPerOp(), LegacyAllocsOp: legacy.AllocsPerOp(),
+		AllocRatio:       float64(legacy.AllocsPerOp()) / float64(pooled.AllocsPerOp()),
+		E2EWorkers:       workers,
+		E2ESerialSeconds: serial,
+		E2EParallelSecs:  par,
+		E2ESerialOverPar: serial / par,
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommPathAllocGate guards the pooled engine's reason to exist: per
+// simulated run of the message-heavy stencil, it must allocate at least
+// 10x less than the legacy per-rectangle path. Allocation counts are
+// deterministic enough to gate tightly, unlike wall-clock; the test only
+// runs when COMM_BENCH is set (the CI bench-smoke job).
+func TestCommPathAllocGate(t *testing.T) {
+	if os.Getenv("COMM_BENCH") == "" {
+		t.Skip("set COMM_BENCH=1 to compare pooled vs legacy allocations")
+	}
+	pooled := testing.Benchmark(BenchmarkCommPathPooled).AllocsPerOp()
+	legacy := testing.Benchmark(BenchmarkCommPathLegacy).AllocsPerOp()
+	if pooled*10 > legacy {
+		t.Errorf("pooled path allocates %d/op vs legacy %d/op — less than the required 10x reduction", pooled, legacy)
+	}
+	t.Logf("allocs/op: pooled %d, legacy %d (%.1fx)", pooled, legacy, float64(legacy)/float64(pooled))
+}

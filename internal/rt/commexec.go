@@ -18,28 +18,21 @@ import (
 // between the same pair may be received in a different order than they
 // were sent (their DN positions need not preserve SR order), so the
 // receiver demultiplexes by tag rather than assuming FIFO.
+//
+// The pooled engine carries the whole payload packed into one flat
+// buffer (the receiver's mirrored run list knows where every value
+// goes); the legacy engine carries one slice per rectangle. A message is
+// recycled back to its sender after unpacking, so in steady state the
+// pooled path allocates nothing.
 type dataMsg struct {
-	tag     int
-	avail   vtime.Time // earliest time the data is present at the destination
-	bytes   int
-	rects   []grid.Region
-	payload [][]float64
-}
-
-// pairRect describes the rectangles a transfer moves between this
-// processor and one peer. rects[n] belongs to the transfer's n'th item.
-type pairRect struct {
-	peer  int
-	rects []grid.Region
+	tag   int
+	avail vtime.Time // earliest time the data is present at the destination
 	bytes int
-}
 
-// xferState is the per-execution geometry of one transfer, computed at the
-// transfer's first IRONMAN call and discarded at SV.
-type xferState struct {
-	reg   grid.Region
-	sends []pairRect
-	recvs []pairRect
+	flat []float64 // pooled engine: all rectangles packed contiguously
+
+	rects   []grid.Region // legacy engine: per-item rectangles...
+	payload [][]float64   // ...and one freshly extracted slice per rectangle
 }
 
 // neighborDirs enumerates the mesh displacements a transfer with offset
@@ -73,15 +66,15 @@ func neighborDirs(off grid.Offset) [][2]int {
 // statement region reg for this processor. Both sides of every pair
 // compute identical rectangles from replicated state, so message contents
 // never need negotiation.
-func (p *proc) geometry(t *comm.Transfer, reg grid.Region) *xferState {
+func (p *proc) geometry(t *comm.Transfer, reg grid.Region) *commSched {
 	w := p.w
-	st := &xferState{reg: reg}
+	st := &commSched{reg: reg}
 	iterMe := w.localRegion(reg, p.row, p.col)
 	for _, d := range neighborDirs(t.Offset) {
 		// Receive side: data I need from the neighbor at displacement d.
 		if src, ok := w.mesh.Neighbor(p.rank, d[0], d[1]); ok {
 			srcRow, srcCol := w.mesh.Coord(src)
-			pr := pairRect{peer: src, rects: make([]grid.Region, len(t.Items))}
+			pr := packPair{peer: src, rects: make([]grid.Region, len(t.Items))}
 			for n, a := range t.Items {
 				owned := w.localRegion(w.regionVals[a.Region.ID], srcRow, srcCol)
 				rect := iterMe.Shift(t.Offset).Intersect(owned)
@@ -96,7 +89,7 @@ func (p *proc) geometry(t *comm.Transfer, reg grid.Region) *xferState {
 		if dst, ok := w.mesh.Neighbor(p.rank, -d[0], -d[1]); ok {
 			dstRow, dstCol := w.mesh.Coord(dst)
 			iterDst := w.localRegion(reg, dstRow, dstCol)
-			pr := pairRect{peer: dst, rects: make([]grid.Region, len(t.Items))}
+			pr := packPair{peer: dst, rects: make([]grid.Region, len(t.Items))}
 			for n, a := range t.Items {
 				owned := w.localRegion(w.regionVals[a.Region.ID], p.row, p.col)
 				rect := iterDst.Shift(t.Offset).Intersect(owned)
@@ -111,13 +104,15 @@ func (p *proc) geometry(t *comm.Transfer, reg grid.Region) *xferState {
 	return st
 }
 
-// state returns (creating on first touch) the transfer's per-execution
-// state.
-func (p *proc) state(t *comm.Transfer) *xferState {
+// state returns the transfer's schedule, opening it on the first IRONMAN
+// call of a DR..SV sequence. The schedule itself comes from the
+// persistent compiled cache; xfers only tracks which transfers are open
+// so block boundaries can assert every sequence completed.
+func (p *proc) state(t *comm.Transfer) *commSched {
 	if st, ok := p.xfers[t]; ok {
 		return st
 	}
-	st := p.geometry(t, p.evalRegion(t.Region))
+	st := p.sched(t, p.evalRegion(t.Region))
 	p.xfers[t] = st
 	return st
 }
@@ -176,15 +171,18 @@ func (p *proc) dispatchCall(c comm.Call) {
 // active reports whether a pair participates under the library's
 // semantics: message-passing bindings skip empty transfers entirely, while
 // the prototype SHMEM binding synchronizes unconditionally.
-func active(lib *machine.Lib, pr pairRect) bool {
+func active(lib *machine.Lib, pr *packPair) bool {
 	return pr.bytes > 0 || lib.UnconditionalSynch
 }
 
-func (p *proc) execDR(st *xferState, lib *machine.Lib) {
+func (p *proc) execDR(st *commSched, lib *machine.Lib) {
 	if lib.Rendezvous {
 		// Destination-ready: notify each source that our buffer may be
-		// written (the SHMEM "synch" of Figure 5).
-		for _, pr := range st.recvs {
+		// written (the SHMEM "synch" of Figure 5). The token carries a
+		// finished message back to the source's free list when one is
+		// waiting (nil on the legacy engine, whose retPool stays empty).
+		for i := range st.recvs {
+			pr := &st.recvs[i]
 			if !active(lib, pr) {
 				continue
 			}
@@ -194,7 +192,7 @@ func (p *proc) execDR(st *xferState, lib *machine.Lib) {
 				p.chargeComm(lib.SynchEmptyCost)
 			}
 			select {
-			case p.w.procs[pr.peer].readyFrom[p.rank] <- p.clock:
+			case p.w.procs[pr.peer].readyFrom[p.rank] <- readyTok{t: p.clock, m: p.popRet(pr.peer)}:
 			case <-p.w.abort:
 				panic(errAborted)
 			}
@@ -202,29 +200,34 @@ func (p *proc) execDR(st *xferState, lib *machine.Lib) {
 		return
 	}
 	// Message passing: DR posts a receive (irecv/hprobe) or is a no-op.
-	for _, pr := range st.recvs {
-		if pr.bytes > 0 {
+	for i := range st.recvs {
+		if st.recvs[i].bytes > 0 {
 			p.chargeComm(lib.DRCost)
 		}
 	}
 }
 
-func (p *proc) execSR(t *comm.Transfer, st *xferState, lib *machine.Lib) {
+func (p *proc) execSR(t *comm.Transfer, st *commSched, lib *machine.Lib) {
 	p.dynTransfers++ // one communication call site executed
-	for _, pr := range st.sends {
+	for i := range st.sends {
+		pr := &st.sends[i]
 		if !active(lib, pr) {
 			continue
 		}
 		if lib.Rendezvous {
 			// Wait for the destination's ready notification before
-			// putting; this couples the two clocks.
-			var tok vtime.Time
+			// putting; this couples the two clocks. A token may carry a
+			// recycled message for this pair's free list.
+			var tok readyTok
 			select {
 			case tok = <-p.readyFrom[pr.peer]:
 			case <-p.w.abort:
 				panic(errAborted)
 			}
-			p.waitFor(tok, "wait ready")
+			if tok.m != nil && len(p.sendPool[pr.peer]) < poolCap {
+				p.sendPool[pr.peer] = append(p.sendPool[pr.peer], tok.m)
+			}
+			p.waitFor(tok.t, "wait ready")
 		}
 		if pr.bytes > 0 {
 			p.chargeComm(lib.SRCost + machine.PerByteDur(lib.SRPerByte, pr.bytes))
@@ -236,20 +239,33 @@ func (p *proc) execSR(t *comm.Transfer, st *xferState, lib *machine.Lib) {
 }
 
 // send captures the pair's rectangles now (the source may overwrite them
-// after SV) and enqueues the message.
-func (p *proc) send(t *comm.Transfer, pr pairRect, lib *machine.Lib) {
-	m := &dataMsg{
-		tag:     t.ID,
-		bytes:   pr.bytes,
-		rects:   pr.rects,
-		payload: make([][]float64, len(pr.rects)),
-		avail:   p.clock.Add(lib.Latency + machine.PerByteDur(lib.WirePerByte, pr.bytes)),
-	}
-	for n, rect := range pr.rects {
-		if rect.Empty() {
-			continue
+// after SV) and enqueues the message. The pooled engine packs every
+// rectangle into one recycled flat buffer by the pair's compiled run
+// list; the legacy engine extracts one fresh slice per rectangle.
+func (p *proc) send(t *comm.Transfer, pr *packPair, lib *machine.Lib) {
+	avail := p.clock.Add(lib.Latency + machine.PerByteDur(lib.WirePerByte, pr.bytes))
+	var m *dataMsg
+	if p.w.legacyComm {
+		m = &dataMsg{
+			tag:     t.ID,
+			bytes:   pr.bytes,
+			avail:   avail,
+			rects:   pr.rects,
+			payload: make([][]float64, len(pr.rects)),
 		}
-		m.payload[n] = p.fields[t.Items[n].ID].ExtractRect(rect)
+		for n, rect := range pr.rects {
+			if rect.Empty() {
+				continue
+			}
+			m.payload[n] = p.fields[t.Items[n].ID].ExtractRect(rect)
+		}
+	} else {
+		m = p.takeMsg(pr.peer, pr.doubles)
+		m.tag = t.ID
+		m.bytes = pr.bytes
+		m.avail = avail
+		m.flat = m.flat[:pr.doubles]
+		pr.pack(m.flat)
 	}
 	if pr.bytes > 0 {
 		p.messages++
@@ -268,8 +284,9 @@ func (p *proc) send(t *comm.Transfer, pr pairRect, lib *machine.Lib) {
 	}
 }
 
-func (p *proc) execDN(t *comm.Transfer, st *xferState, lib *machine.Lib) {
-	for _, pr := range st.recvs {
+func (p *proc) execDN(t *comm.Transfer, st *commSched, lib *machine.Lib) {
+	for i := range st.recvs {
+		pr := &st.recvs[i]
 		if !active(lib, pr) {
 			continue
 		}
@@ -286,12 +303,17 @@ func (p *proc) execDN(t *comm.Transfer, st *xferState, lib *machine.Lib) {
 		} else {
 			p.chargeComm(lib.SynchEmptyCost)
 		}
-		for n, rect := range m.rects {
-			if rect.Empty() {
-				continue
+		if p.w.legacyComm {
+			for n, rect := range m.rects {
+				if rect.Empty() {
+					continue
+				}
+				p.fields[t.Items[n].ID].InsertRect(rect, m.payload[n])
 			}
-			p.fields[t.Items[n].ID].InsertRect(rect, m.payload[n])
+			continue
 		}
+		pr.unpack(m.flat)
+		p.recycleMsg(pr.peer, m)
 	}
 }
 
@@ -300,10 +322,12 @@ func (p *proc) execDN(t *comm.Transfer, st *xferState, lib *machine.Lib) {
 // Within one (pair, tag) stream order is preserved, so iterations of the
 // same transfer always match up.
 func (p *proc) recvTagged(src, tag int) *dataMsg {
-	if q := p.pending[src][tag]; len(q) > 0 {
-		m := q[0]
-		p.pending[src][tag] = q[1:]
-		return m
+	if p.pending != nil {
+		if q := p.pending[src][tag]; len(q) > 0 {
+			m := q[0]
+			p.pending[src][tag] = q[1:]
+			return m
+		}
 	}
 	for {
 		var m *dataMsg
@@ -315,6 +339,12 @@ func (p *proc) recvTagged(src, tag int) *dataMsg {
 		if m.tag == tag {
 			return m
 		}
+		// First out-of-order message: most programs are fully in order, so
+		// the whole stash structure materializes only when pipelining
+		// actually reorders two transfers of a block.
+		if p.pending == nil {
+			p.pending = make([]map[int][]*dataMsg, p.w.mesh.Size())
+		}
 		if p.pending[src] == nil {
 			p.pending[src] = map[int][]*dataMsg{}
 		}
@@ -322,12 +352,12 @@ func (p *proc) recvTagged(src, tag int) *dataMsg {
 	}
 }
 
-func (p *proc) execSV(st *xferState, lib *machine.Lib) {
+func (p *proc) execSV(st *commSched, lib *machine.Lib) {
 	if lib.Rendezvous {
 		return // puts complete at SR; SV compiles to a no-op
 	}
-	for _, pr := range st.sends {
-		if pr.bytes > 0 {
+	for i := range st.sends {
+		if st.sends[i].bytes > 0 {
 			p.chargeComm(lib.SVCost)
 		}
 	}

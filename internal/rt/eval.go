@@ -99,8 +99,9 @@ func (p *proc) compile1(e ir.Expr) evalFn {
 			// The buffer is shared across calls: evaluation is
 			// single-goroutine per processor and an expression node can
 			// never be its own descendant, so the closure is not
-			// reentrant and one buffer per node suffices.
-			vals := make([]float64, len(args))
+			// reentrant and one buffer per node suffices. It lives in the
+			// proc's bump scratch rather than its own heap allocation.
+			vals := p.nodeScratch.grab(len(args))
 			return func(i, j, k int) float64 {
 				for n, a := range args {
 					vals[n] = a(i, j, k)

@@ -13,11 +13,6 @@ import (
 	"commopt/internal/vtime"
 )
 
-// chanCap bounds in-flight messages per directed processor pair. The plan
-// guarantees every send is matched by a receive in the same basic-block
-// execution, so the depth is bounded by a block's transfer count.
-const chanCap = 4096
-
 // proc is one virtual processor: its data, clock and plumbing.
 type proc struct {
 	w         *world
@@ -27,17 +22,29 @@ type proc struct {
 	fields    []*field.Field // by ArraySym.ID
 	scalars   []float64      // by ScalarSym.ID
 	fnCache   map[ir.Expr]evalFn
-	in        []chan *dataMsg      // in[src]: data from processor src (mesh neighbors only)
-	readyFrom []chan vtime.Time    // readyFrom[dst]: rendezvous tokens posted by dst
-	pending   []map[int][]*dataMsg // pending[src][tag]: stashed out-of-order messages
+	in        []chan *dataMsg // in[src]: data from processor src (mesh neighbors only)
+	readyFrom []chan readyTok // readyFrom[dst]: rendezvous tokens and recycled buffers posted by dst
+	// pending[src][tag] stashes out-of-order messages. The whole structure
+	// is nil until the first message actually arrives out of order
+	// (recvTagged); fully in-order programs never pay for it.
+	pending []map[int][]*dataMsg
+
+	// Pooled communication engine (commpack.go, bufpool.go): compiled
+	// transfer schedules and per-peer message free lists.
+	scheds   map[schedKey]*commSched
+	sendPool [][]*dataMsg // sendPool[peer]: recycled messages for sends to peer
+	retPool  [][]*dataMsg // retPool[src]: unpacked messages awaiting return to src
+	redVals  []float64    // rank 0's reduction gather scratch, reused across reductions
+	segs     map[*ir.Stmt][]comm.Segment
 
 	// Kernel-compiled execution engine (kernel.go): compiled statement
 	// kernels, reduction-partial kernels, the scratch arena that replaces
 	// per-execution temporaries, and the reusable row-evaluation context.
-	kernels  map[kernelKey]*kernel
-	rkernels map[reduceKey]*reduceKernel
-	arena    arena
-	kctx     kctx
+	kernels     map[kernelKey]*kernel
+	rkernels    map[reduceKey]*reduceKernel
+	arena       arena
+	nodeScratch bump // permanent per-node buffers of compiled closures
+	kctx        kctx
 
 	dynTransfers int
 	messages     int
@@ -50,7 +57,7 @@ type proc struct {
 	waitT    vtime.Duration // blocked on data, tokens or reductions
 
 	output strings.Builder
-	xfers  map[*comm.Transfer]*xferState
+	xfers  map[*comm.Transfer]*commSched // transfers currently open (DR seen, SV pending)
 
 	rng uint64 // deterministic per-processor jitter stream
 
@@ -84,11 +91,14 @@ func newProc(w *world, rank int) *proc {
 		w: w, rank: rank, row: r, col: c,
 		fnCache:   map[ir.Expr]evalFn{},
 		in:        make([]chan *dataMsg, w.mesh.Size()),
-		readyFrom: make([]chan vtime.Time, w.mesh.Size()),
-		pending:   make([]map[int][]*dataMsg, w.mesh.Size()),
+		readyFrom: make([]chan readyTok, w.mesh.Size()),
+		sendPool:  make([][]*dataMsg, w.mesh.Size()),
+		retPool:   make([][]*dataMsg, w.mesh.Size()),
 		kernels:   map[kernelKey]*kernel{},
 		rkernels:  map[reduceKey]*reduceKernel{},
-		xfers:     map[*comm.Transfer]*xferState{},
+		scheds:    map[schedKey]*commSched{},
+		segs:      map[*ir.Stmt][]comm.Segment{},
+		xfers:     map[*comm.Transfer]*commSched{},
 		rng:       uint64(rank)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 	}
 	// Transfers only ever move data between mesh neighbors (geometry
@@ -102,8 +112,8 @@ func newProc(w *world, rank int) *proc {
 				continue
 			}
 			if q, ok := w.mesh.Neighbor(rank, dr, dc); ok {
-				p.in[q] = make(chan *dataMsg, chanCap)
-				p.readyFrom[q] = make(chan vtime.Time, chanCap)
+				p.in[q] = make(chan *dataMsg, w.chanCap)
+				p.readyFrom[q] = make(chan readyTok, w.chanCap)
 			}
 		}
 	}
@@ -144,10 +154,28 @@ func (p *proc) waitUntil(t vtime.Time) {
 	}
 }
 
+// segments caches one statement list's segmentation: body re-runs on
+// every loop iteration, and the split of an immutable IR body never
+// changes, so computing it once per proc removes the dominant steady-state
+// allocation of loop-heavy programs. The key is the address of the list's
+// first element, which identifies the body (every statement belongs to
+// exactly one).
+func (p *proc) segments(stmts []ir.Stmt) []comm.Segment {
+	if len(stmts) == 0 {
+		return nil
+	}
+	if s, ok := p.segs[&stmts[0]]; ok {
+		return s
+	}
+	s := comm.SplitSegments(stmts)
+	p.segs[&stmts[0]] = s
+	return s
+}
+
 // body interprets a structured statement list, alternating between
 // planned basic blocks and control statements.
 func (p *proc) body(stmts []ir.Stmt) {
-	for _, seg := range comm.SplitSegments(stmts) {
+	for _, seg := range p.segments(stmts) {
 		if seg.Block != nil {
 			p.block(seg.Block)
 			continue
@@ -367,11 +395,16 @@ func (p *proc) evalWithReduce(e ir.Expr, local grid.Region) float64 {
 		y := p.evalWithReduce(e.Y, local)
 		return evalBinary(e.Op, x, y)
 	case *ir.Intrinsic:
-		args := make([]float64, len(e.Args))
+		// Argument values stage in the proc's arena (stack discipline
+		// survives the recursion), not a per-call allocation.
+		mk := p.arena.mark()
+		args := p.arena.alloc(len(e.Args))
 		for i, a := range e.Args {
 			args[i] = p.evalWithReduce(a, local)
 		}
-		return evalIntrinsic(e.Fn, args)
+		v := evalIntrinsic(e.Fn, args)
+		p.arena.release(mk)
+		return v
 	default:
 		return p.evalScalar(e)
 	}
@@ -389,7 +422,10 @@ func (p *proc) allreduce(op ir.ReduceOp, val float64) float64 {
 
 	if p.rank == 0 {
 		n := w.mesh.Size()
-		vals := make([]float64, n)
+		if len(p.redVals) < n {
+			p.redVals = make([]float64, n)
+		}
+		vals := p.redVals[:n]
 		var tmax vtime.Time
 		for i := 0; i < n; i++ {
 			m := p.recvRed()

@@ -42,6 +42,14 @@ type Config struct {
 	// way; the flag exists for differential testing and benchmarking.
 	ForceInterpreter bool
 
+	// ForceLegacyComm disables the compiled pack/unpack communication
+	// engine and its pooled message buffers: every message reverts to a
+	// freshly allocated dataMsg with one ExtractRect slice per rectangle.
+	// Simulated results must be identical either way; the flag exists as
+	// the comm engine's differential-testing oracle, mirroring
+	// ForceInterpreter.
+	ForceLegacyComm bool
+
 	// Trace, when non-nil, records virtual-time-stamped events (IRONMAN
 	// calls, message sends/receives, statement executions, reductions and
 	// blocking waits) into the recorder's per-processor ring buffers.
@@ -178,7 +186,9 @@ type world struct {
 	lib  *machine.Lib
 	mesh grid.Mesh
 
-	interp bool // run array statements on the interpreter, not kernels
+	interp     bool // run array statements on the interpreter, not kernels
+	legacyComm bool // per-rectangle allocating messages, not pooled flat buffers
+	chanCap    int  // per-pair channel capacity, derived from the plan
 
 	configVals []float64     // by ScalarSym.ID, configs+consts evaluated
 	regionVals []grid.Region // by RegionSym.ID, evaluated declared regions
@@ -216,6 +226,27 @@ func (w *world) fail(err error) {
 // errAborted signals that another processor already failed.
 var errAborted = fmt.Errorf("rt: run aborted by another processor's failure")
 
+// pairChanCap sizes the per-directed-pair message and token channels from
+// the plan instead of a one-size-fits-all constant. The bound: block
+// boundaries fully drain every in-flight transfer (block asserts all
+// DR..SV sequences closed), so unconsumed messages on one directed pair
+// always come from at most T sends per block execution, where T is the
+// plan's largest per-block (or per-preheader) transfer count. A send can
+// therefore only block once the channel holds messages from three or more
+// distinct block executions — which would need the receiver to be two
+// whole executions behind the sender. Around any would-be cycle of
+// blocked senders each processor would have to be two executions ahead of
+// the next, which cannot close; so 2T+2 slots make channel sends
+// deadlock-free while shrinking the old fixed 4096-slot buffers to the
+// handful a plan can actually use.
+func pairChanCap(plan *comm.Plan) int {
+	c := 2*plan.MaxBlockTransfers() + 2
+	if c < 4 {
+		c = 4
+	}
+	return c
+}
+
 // Run executes the program under the given plan and configuration.
 func Run(prog *ir.Program, plan *comm.Plan, cfg Config) (*Result, error) {
 	if plan.Program != prog {
@@ -229,13 +260,15 @@ func Run(prog *ir.Program, plan *comm.Plan, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	w := &world{
-		prog:   prog,
-		plan:   plan,
-		mach:   cfg.Machine,
-		lib:    lib,
-		mesh:   grid.SquarestMesh(cfg.Procs),
-		interp: cfg.ForceInterpreter,
-		abort:  make(chan struct{}),
+		prog:       prog,
+		plan:       plan,
+		mach:       cfg.Machine,
+		lib:        lib,
+		mesh:       grid.SquarestMesh(cfg.Procs),
+		interp:     cfg.ForceInterpreter,
+		legacyComm: cfg.ForceLegacyComm,
+		chanCap:    pairChanCap(plan),
+		abort:      make(chan struct{}),
 	}
 	if err := w.setup(cfg); err != nil {
 		return nil, err
@@ -422,9 +455,12 @@ func (w *world) localRegion(reg grid.Region, row, col int) grid.Region {
 }
 
 // scalarEnv evaluates setup-time scalar expressions (config and constant
-// initializers, region bounds) against the shared value table.
+// initializers, region bounds) against the shared value table. Intrinsic
+// argument values stage in an owned arena reused across every evaluation
+// (stack discipline survives nested intrinsics), not per-call slices.
 type scalarEnv struct {
-	vals []float64
+	vals    []float64
+	scratch arena
 }
 
 func (e *scalarEnv) eval(x ir.Expr) float64 {
@@ -438,11 +474,14 @@ func (e *scalarEnv) eval(x ir.Expr) float64 {
 	case *ir.Binary:
 		return evalBinary(x.Op, e.eval(x.X), e.eval(x.Y))
 	case *ir.Intrinsic:
-		args := make([]float64, len(x.Args))
+		mk := e.scratch.mark()
+		args := e.scratch.alloc(len(x.Args))
 		for i, a := range x.Args {
 			args[i] = e.eval(a)
 		}
-		return evalIntrinsic(x.Fn, args)
+		v := evalIntrinsic(x.Fn, args)
+		e.scratch.release(mk)
+		return v
 	}
 	panic(fmt.Sprintf("rt: expression %T not valid at setup time", x))
 }

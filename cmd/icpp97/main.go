@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, profile")
+	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, scalinglaw, profile")
 	procs := flag.Int("procs", 64, "processors in the simulated partition")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	workers := flag.Int("workers", 0, "benchmark×experiment cells simulated concurrently (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
@@ -123,6 +123,8 @@ func run(exp string, r *experiments.Runner) error {
 			}
 			t.Render(w)
 		}
+	case "scalinglaw":
+		return table(experiments.ScalingLaw("simple", experiments.DefaultScalingLawProcs, r.Quick, r.Workers))
 	case "profile":
 		// Opt-in only: the profile appendix is never part of "all", so the
 		// figure and table outputs stay byte-identical with and without

@@ -8,6 +8,7 @@
 //
 //	zplrun [-machine t3d|paragon] [-lib pvm|shmem|csend|isend|hsend]
 //	       [-procs N] [-O level] [-set name=value]...
+//	       [-sched-workers N] [-legacy-sched]
 //	       [-trace out.json] [-profile] [-metrics] [-metrics-json out.json]
 //	       file.zpl
 //	zplrun -bench swm -procs 64 -O pl -lib shmem
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"commopt/internal/comm"
+	"commopt/internal/grid"
 	"commopt/internal/ir"
 	"commopt/internal/machine"
 	"commopt/internal/programs"
@@ -62,6 +64,8 @@ type options struct {
 	metrics     bool   // print the metrics registry as text
 	metricsJSON string // write the metrics registry as JSON here ("" = off)
 	legacyComm  bool   // per-rectangle allocating comm path (oracle)
+	legacySched bool   // goroutine-per-proc execution (oracle)
+	schedWork   int    // M:N scheduler worker-pool size (0 = GOMAXPROCS)
 	args        []string
 }
 
@@ -69,7 +73,7 @@ func main() {
 	o := options{cfg: configFlags{}}
 	flag.StringVar(&o.mach, "machine", "t3d", "simulated machine: t3d or paragon")
 	flag.StringVar(&o.lib, "lib", "pvm", "communication library binding")
-	flag.IntVar(&o.procs, "procs", 64, "virtual processor count")
+	flag.IntVar(&o.procs, "procs", 64, fmt.Sprintf("virtual processor count (1..%d)", grid.MaxProcs))
 	flag.StringVar(&o.level, "O", "pl", "optimization level: baseline, rr, cc, pl, pl-maxlat")
 	flag.StringVar(&o.bench, "bench", "", "run a bundled benchmark instead of a file")
 	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON timeline (virtual time) to `file`")
@@ -77,6 +81,8 @@ func main() {
 	flag.BoolVar(&o.metrics, "metrics", false, "print the run's metrics registry (counters and histograms)")
 	flag.StringVar(&o.metricsJSON, "metrics-json", "", "write the metrics registry as JSON to `file`")
 	flag.BoolVar(&o.legacyComm, "legacy-comm", false, "use the allocating per-rectangle communication path instead of the pooled pack/unpack engine (identical results, differential oracle)")
+	flag.BoolVar(&o.legacySched, "legacy-sched", false, "run one goroutine per virtual processor instead of the M:N scheduler (identical results, differential oracle; impractical beyond a few thousand procs)")
+	flag.IntVar(&o.schedWork, "sched-workers", 0, "M:N scheduler worker-pool size (0 = GOMAXPROCS); results are identical at any setting")
 	flag.Var(o.cfg, "set", "override a config variable, e.g. -set n=64 (repeatable)")
 	flag.Parse()
 	o.args = flag.Args()
@@ -147,6 +153,9 @@ func run(w io.Writer, o options) error {
 		Profile:         o.profile,
 		Metrics:         o.metrics || o.metricsJSON != "",
 		ForceLegacyComm: o.legacyComm,
+
+		ForceGoroutinePerProc: o.legacySched,
+		SchedWorkers:          o.schedWork,
 	}
 	var rec *trace.Recorder
 	if o.tracePath != "" {

@@ -107,6 +107,17 @@ type RunOptions struct {
 	// engine with pooled buffers (differential-testing oracle; results
 	// are identical, only host wall-clock and allocations differ).
 	ForceLegacyComm bool
+
+	// ForceGoroutinePerProc runs every virtual processor on its own
+	// OS-scheduled goroutine instead of the M:N scheduler's worker pool
+	// (differential-testing oracle; results are identical, only host
+	// wall-clock, memory and the practical processor-count ceiling
+	// differ).
+	ForceGoroutinePerProc bool
+
+	// SchedWorkers bounds the M:N scheduler's worker pool
+	// (0 = GOMAXPROCS). Ignored with ForceGoroutinePerProc.
+	SchedWorkers int
 }
 
 // Run executes the program under a plan on the simulated machine.
@@ -125,11 +136,13 @@ func (p *Program) Run(plan *comm.Plan, opts RunOptions) (*rt.Result, error) {
 		return nil, err
 	}
 	return rt.Run(p.IR, plan, rt.Config{
-		Machine:          mach,
-		Library:          opts.Library,
-		Procs:            opts.Procs,
-		ConfigVars:       opts.Configs,
-		ForceInterpreter: opts.ForceInterpreter,
-		ForceLegacyComm:  opts.ForceLegacyComm,
+		Machine:               mach,
+		Library:               opts.Library,
+		Procs:                 opts.Procs,
+		ConfigVars:            opts.Configs,
+		ForceInterpreter:      opts.ForceInterpreter,
+		ForceLegacyComm:       opts.ForceLegacyComm,
+		ForceGoroutinePerProc: opts.ForceGoroutinePerProc,
+		SchedWorkers:          opts.SchedWorkers,
 	})
 }

@@ -199,6 +199,14 @@ func (r *Runner) runCell(benchName, expKey string) (Cell, error) {
 		Procs:      r.Procs,
 		ConfigVars: cfg,
 	}
+	if r.workers() > 1 {
+		// Concurrent cells are independent simulations, so they scale
+		// perfectly across cores; workers inside one world mostly wait on
+		// each other's virtual times. One scheduler worker per cell lets
+		// the process-wide step budget spend the host on cell-level
+		// parallelism instead of intra-world contention.
+		rtCfg.SchedWorkers = 1
+	}
 	var rec *trace.Recorder
 	if r.TraceDir != "" {
 		rec = trace.NewRecorder()

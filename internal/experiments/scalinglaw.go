@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"commopt/internal/comm"
+	"commopt/internal/machine"
+	"commopt/internal/programs"
+	"commopt/internal/report"
+	"commopt/internal/rt"
+)
+
+// ScalingLaw sweeps one benchmark across partition sizes well beyond the
+// paper's 64-node runs — the regime the M:N scheduler exists for — and
+// crosses the sweep with problem size and optimization level. The paper
+// stops where its hardware stopped; the simulated machine does not, so
+// this extension shows how the optimizations' payoff grows with the
+// partition (communication surface shrinks slower than compute volume)
+// and where each problem size stops scaling entirely.
+//
+// Every (grid, procs, level) cell is an independent simulation over one
+// shared compiled program, so cells run concurrently on up to workers
+// goroutines and merge positionally; the rendered table is byte-identical
+// at any worker count. Inside each run the M:N scheduler keeps thousands
+// of virtual processors on a fixed worker pool, and the process-wide step
+// budget keeps the sweep itself from oversubscribing the host.
+func ScalingLaw(benchName string, procCounts []int, quick bool, workers int) (*report.Table, error) {
+	bench, err := programs.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	base := bench.PaperConfig
+	if quick {
+		base = bench.CalibConfig
+	}
+	if _, ok := base["n"]; !ok {
+		return nil, fmt.Errorf("experiments: benchmark %q has no grid config n", benchName)
+	}
+
+	// Two problem sizes: the paper's and its double (strong scaling at
+	// each; the pair shows the weak-scaling shift of the crossover).
+	sizes := []float64{base["n"], 2 * base["n"]}
+	levels := []struct {
+		name string
+		opts comm.Options
+	}{
+		{"baseline", comm.Baseline()},
+		{"pl", comm.PL()},
+	}
+
+	r := NewRunner(procCounts[0])
+	r.Workers = workers
+	r.mu.Lock()
+	c, err := r.compiledFor(benchName)
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]*comm.Plan, len(levels))
+	for i, lv := range levels {
+		plans[i] = comm.BuildPlan(c.prog, lv.opts)
+	}
+
+	type cellKey struct{ size, procs, level int }
+	cells := map[cellKey]*rt.Result{}
+	cellErrs := map[cellKey]error{}
+	var keys []cellKey
+	for si := range sizes {
+		for pi := range procCounts {
+			for li := range levels {
+				keys = append(keys, cellKey{si, pi, li})
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	n := r.workers()
+	if n > len(keys) {
+		n = len(keys)
+	}
+	jobs := make(chan cellKey)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				cfg := make(map[string]float64, len(base)+1)
+				for name, v := range base {
+					cfg[name] = v
+				}
+				cfg["n"] = sizes[k.size]
+				res, err := rt.Run(c.prog, plans[k.level], rt.Config{
+					Machine:    machine.T3D(),
+					Library:    "pvm",
+					Procs:      procCounts[k.procs],
+					ConfigVars: cfg,
+				})
+				mu.Lock()
+				if err != nil {
+					cellErrs[k] = fmt.Errorf("%s n=%g at %d procs (%s): %w",
+						benchName, sizes[k.size], procCounts[k.procs], levels[k.level].name, err)
+				} else {
+					cells[k] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, k := range keys {
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+
+	t := &report.Table{
+		Title: fmt.Sprintf("scaling law: %s (T3D/PVM), baseline vs pl across partition and problem size", benchName),
+		Headers: []string{"grid", "processors", "mesh",
+			"baseline (s)", "pl (s)", "pl gain", "pl comm+wait share"},
+	}
+	for si, size := range sizes {
+		for pi, procs := range procCounts {
+			kb := cellKey{si, pi, 0}
+			kp := cellKey{si, pi, 1}
+			for _, k := range []cellKey{kb, kp} {
+				if err := cellErrs[k]; err != nil {
+					return nil, err
+				}
+			}
+			bl, pl := cells[kb], cells[kp]
+			t.AddRow(fmt.Sprintf("%gx%g", size, size), procs, bl.Mesh.String(),
+				fmt.Sprintf("%.6f", bl.ExecTime.Seconds()),
+				fmt.Sprintf("%.6f", pl.ExecTime.Seconds()),
+				fmt.Sprintf("%.2fx", bl.ExecTime.Seconds()/pl.ExecTime.Seconds()),
+				fmt.Sprintf("%.0f%%", 100*pl.Breakdown.CommFraction()))
+		}
+	}
+	return t, nil
+}
+
+// DefaultScalingLawProcs is the partition sweep of the scaling-law
+// experiment: the paper's regime ends where this one begins.
+var DefaultScalingLawProcs = []int{256, 512, 1024, 2048, 4096}

@@ -75,6 +75,26 @@ func SquarestMesh(p int) Mesh {
 	return best
 }
 
+// MaxProcs bounds the processor counts MeshFor accepts. The block
+// distribution itself works at any count; the bound keeps a typo'd
+// -procs from allocating millions of processor states before the run
+// inevitably fails the block-size check.
+const MaxProcs = 1 << 16
+
+// MeshFor validates a processor count and returns its near-square mesh:
+// 256 → 16×16, 2048 → 64×32, prime counts degenerate to p×1. Counts the
+// block distribution cannot handle report an error instead of panicking
+// deep inside mesh construction.
+func MeshFor(p int) (Mesh, error) {
+	if p < 1 {
+		return Mesh{}, fmt.Errorf("grid: processor count %d < 1", p)
+	}
+	if p > MaxProcs {
+		return Mesh{}, fmt.Errorf("grid: processor count %d exceeds the %d-processor limit of the block distribution", p, MaxProcs)
+	}
+	return SquarestMesh(p), nil
+}
+
 func abs(x int) int {
 	if x < 0 {
 		return -x

@@ -20,6 +20,42 @@ func TestSquarestMesh(t *testing.T) {
 	}
 }
 
+func TestMeshFor(t *testing.T) {
+	cases := []struct {
+		p, rows, cols int
+	}{
+		{1, 1, 1}, {64, 8, 8},
+		{256, 16, 16}, {1024, 32, 32}, {2048, 64, 32}, {4096, 64, 64},
+		{13, 13, 1},     // prime: degenerates to a column
+		{45, 9, 5},      // odd composite
+		{1009, 1009, 1}, // large prime
+	}
+	for _, c := range cases {
+		m, err := MeshFor(c.p)
+		if err != nil {
+			t.Errorf("MeshFor(%d): %v", c.p, err)
+			continue
+		}
+		if m.Rows != c.rows || m.Cols != c.cols {
+			t.Errorf("MeshFor(%d) = %v, want %dx%d", c.p, m, c.rows, c.cols)
+		}
+		if m.Size() != c.p {
+			t.Errorf("MeshFor(%d).Size() = %d", c.p, m.Size())
+		}
+	}
+}
+
+func TestMeshForRejectsBadCounts(t *testing.T) {
+	for _, p := range []int{0, -1, MaxProcs + 1} {
+		if _, err := MeshFor(p); err == nil {
+			t.Errorf("MeshFor(%d): want error, got nil", p)
+		}
+	}
+	if _, err := MeshFor(MaxProcs); err != nil {
+		t.Errorf("MeshFor(MaxProcs): %v", err)
+	}
+}
+
 func TestMeshRankCoordRoundTrip(t *testing.T) {
 	m := NewMesh(5, 7)
 	for r := 0; r < m.Rows; r++ {

@@ -37,30 +37,34 @@ type readyTok struct {
 const poolCap = 8
 
 // takeMsg returns a message whose flat buffer holds at least doubles
-// elements, recycling from the peer's free list when possible. On
-// message-passing libraries it first drains any buffers the peer
+// elements, recycling from the neighbor slot's free list when possible.
+// On message-passing libraries it first drains any buffers the peer
 // returned; on rendezvous libraries the free list is refilled by execSR
 // from the ready tokens themselves.
-func (p *proc) takeMsg(peer, doubles int) *dataMsg {
+func (p *proc) takeMsg(slot, doubles int) *dataMsg {
 	if !p.w.lib.Rendezvous {
-		for len(p.sendPool[peer]) < poolCap {
-			var tok readyTok
-			select {
-			case tok = <-p.readyFrom[peer]:
-			default:
+		if p.w.mn {
+			p.drainRets(slot)
+		} else {
+			for len(p.sendPool[slot]) < poolCap {
+				var tok readyTok
+				select {
+				case tok = <-p.readyFrom[slot]:
+				default:
+				}
+				if tok.m == nil {
+					break // channel empty: only returns travel here in this mode
+				}
+				p.sendPool[slot] = append(p.sendPool[slot], tok.m)
 			}
-			if tok.m == nil {
-				break // channel empty: only returns travel here in this mode
-			}
-			p.sendPool[peer] = append(p.sendPool[peer], tok.m)
 		}
 	}
-	pool := p.sendPool[peer]
+	pool := p.sendPool[slot]
 	for i := len(pool) - 1; i >= 0; i-- {
 		if cap(pool[i].flat) >= doubles {
 			m := pool[i]
 			pool[i] = pool[len(pool)-1]
-			p.sendPool[peer] = pool[:len(pool)-1]
+			p.sendPool[slot] = pool[:len(pool)-1]
 			return m
 		}
 	}
@@ -68,30 +72,36 @@ func (p *proc) takeMsg(peer, doubles int) *dataMsg {
 }
 
 // recycleMsg returns a fully unpacked message to the processor that sent
-// it. Rendezvous libraries stash it for the next DR's ready token;
-// message-passing libraries push it back directly, dropping it when the
-// channel is full so the send can never block.
-func (p *proc) recycleMsg(src int, m *dataMsg) {
+// it (pr is the receive pair it arrived on). Rendezvous libraries stash
+// it for the next DR's ready token; message-passing libraries push it
+// back directly, dropping it when the destination is full so the return
+// can never block.
+func (p *proc) recycleMsg(pr *packPair, m *dataMsg) {
 	if p.w.lib.Rendezvous {
-		if len(p.retPool[src]) < poolCap {
-			p.retPool[src] = append(p.retPool[src], m)
+		if len(p.retPool[pr.slot]) < poolCap {
+			p.retPool[pr.slot] = append(p.retPool[pr.slot], m)
 		}
 		return
 	}
+	src := p.w.procs[pr.peer]
+	if p.w.mn {
+		p.deliverRet(src, pr.back, m)
+		return
+	}
 	select {
-	case p.w.procs[src].readyFrom[p.rank] <- readyTok{m: m}:
+	case src.readyFrom[pr.back] <- readyTok{m: m}:
 	default:
 	}
 }
 
 // popRet takes one stashed message for piggybacking on a ready token to
-// src, or nil when none is waiting.
-func (p *proc) popRet(src int) *dataMsg {
-	pool := p.retPool[src]
+// the neighbor at slot, or nil when none is waiting.
+func (p *proc) popRet(slot int) *dataMsg {
+	pool := p.retPool[slot]
 	if len(pool) == 0 {
 		return nil
 	}
 	m := pool[len(pool)-1]
-	p.retPool[src] = pool[:len(pool)-1]
+	p.retPool[slot] = pool[:len(pool)-1]
 	return m
 }

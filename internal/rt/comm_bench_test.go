@@ -90,6 +90,7 @@ type commBenchReport struct {
 
 	// End-to-end: wall-clock seconds for the full icpp97 -quick figure
 	// suite at 4 simulated processors, serial versus one worker per core.
+	E2ECpus          int     `json:"e2e_cpus"`
 	E2EWorkers       int     `json:"e2e_workers"`
 	E2ESerialSeconds float64 `json:"e2e_serial_seconds"`
 	E2EParallelSecs  float64 `json:"e2e_parallel_seconds"`
@@ -110,6 +111,52 @@ func runAllSeconds(t *testing.T, workers int) float64 {
 	return time.Since(start).Seconds()
 }
 
+// e2eSeconds measures the serial and parallel quick-suite wall-clock,
+// alternating three repetitions of each and keeping the minimum — the
+// quick suite is well under a second, so single shots are noise-bound.
+// At least 4 nominal workers so the admission path is exercised even on
+// small hosts.
+func e2eSeconds(t *testing.T) (workers int, serial, par float64) {
+	t.Helper()
+	workers = runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	for i := 0; i < 3; i++ {
+		if s := runAllSeconds(t, 1); i == 0 || s < serial {
+			serial = s
+		}
+		if p := runAllSeconds(t, workers); i == 0 || p < par {
+			par = p
+		}
+	}
+	return workers, serial, par
+}
+
+// TestHarnessParallelGate is the CI regression gate on the end-to-end
+// harness: running the figure suite with nominal parallelism must beat
+// the serial runner on parallel hardware, and on a single-CPU host —
+// where no speedup is physically possible — it must at least stay within
+// 10% of serial, i.e. admission control keeps oversubscription from
+// making parallelism a pessimization (the PR 5 regression). Runs only
+// when COMM_BENCH is set, like the alloc gate below.
+func TestHarnessParallelGate(t *testing.T) {
+	if os.Getenv("COMM_BENCH") == "" {
+		t.Skip("set COMM_BENCH=1 to run the harness parallelism gate")
+	}
+	workers, serial, par := e2eSeconds(t)
+	ratio := serial / par
+	floor := 1.0
+	if runtime.GOMAXPROCS(0) == 1 {
+		floor = 0.9
+	}
+	t.Logf("serial %.3fs, %d workers %.3fs, ratio %.3f (floor %.2f, %d CPUs)",
+		serial, workers, par, ratio, floor, runtime.GOMAXPROCS(0))
+	if ratio <= floor {
+		t.Errorf("serial/parallel ratio %.3f at or below floor %.2f: parallel harness regressed", ratio, floor)
+	}
+}
+
 // TestEmitCommBenchJSON regenerates BENCH_comm.json, the checked-in
 // snapshot of the communication-path benchmarks. Skipped unless
 // BENCH_COMM_JSON names the output file:
@@ -122,20 +169,16 @@ func TestEmitCommBenchJSON(t *testing.T) {
 	}
 	pooled := testing.Benchmark(BenchmarkCommPathPooled)
 	legacy := testing.Benchmark(BenchmarkCommPathLegacy)
-	// At least 4 workers so the pool is exercised even on small hosts;
-	// the recorded speedup honestly reflects the cores available when
-	// the snapshot was taken.
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 4 {
-		workers = 4
-	}
-	serial := runAllSeconds(t, 1)
-	par := runAllSeconds(t, workers)
+	// The recorded speedup honestly reflects the cores available when the
+	// snapshot was taken (e2e_cpus): on a single-CPU host the ratio can
+	// only hover around 1.0.
+	workers, serial, par := e2eSeconds(t)
 	report := commBenchReport{
 		Benchmark: "BenchmarkCommPath", Grid: "32x32, 256 iterations", Procs: 4,
 		PooledNsOp: pooled.NsPerOp(), LegacyNsOp: legacy.NsPerOp(),
 		PooledAllocsOp: pooled.AllocsPerOp(), LegacyAllocsOp: legacy.AllocsPerOp(),
 		AllocRatio:       float64(legacy.AllocsPerOp()) / float64(pooled.AllocsPerOp()),
+		E2ECpus:          runtime.GOMAXPROCS(0),
 		E2EWorkers:       workers,
 		E2ESerialSeconds: serial,
 		E2EParallelSecs:  par,

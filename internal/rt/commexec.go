@@ -74,7 +74,8 @@ func (p *proc) geometry(t *comm.Transfer, reg grid.Region) *commSched {
 		// Receive side: data I need from the neighbor at displacement d.
 		if src, ok := w.mesh.Neighbor(p.rank, d[0], d[1]); ok {
 			srcRow, srcCol := w.mesh.Coord(src)
-			pr := packPair{peer: src, rects: make([]grid.Region, len(t.Items))}
+			slot := p.slotOf(src)
+			pr := packPair{peer: src, slot: slot, back: p.backSlots[slot], rects: make([]grid.Region, len(t.Items))}
 			for n, a := range t.Items {
 				owned := w.localRegion(w.regionVals[a.Region.ID], srcRow, srcCol)
 				rect := iterMe.Shift(t.Offset).Intersect(owned)
@@ -89,7 +90,8 @@ func (p *proc) geometry(t *comm.Transfer, reg grid.Region) *commSched {
 		if dst, ok := w.mesh.Neighbor(p.rank, -d[0], -d[1]); ok {
 			dstRow, dstCol := w.mesh.Coord(dst)
 			iterDst := w.localRegion(reg, dstRow, dstCol)
-			pr := packPair{peer: dst, rects: make([]grid.Region, len(t.Items))}
+			slot := p.slotOf(dst)
+			pr := packPair{peer: dst, slot: slot, back: p.backSlots[slot], rects: make([]grid.Region, len(t.Items))}
 			for n, a := range t.Items {
 				owned := w.localRegion(w.regionVals[a.Region.ID], p.row, p.col)
 				rect := iterDst.Shift(t.Offset).Intersect(owned)
@@ -191,11 +193,7 @@ func (p *proc) execDR(st *commSched, lib *machine.Lib) {
 			} else {
 				p.chargeComm(lib.SynchEmptyCost)
 			}
-			select {
-			case p.w.procs[pr.peer].readyFrom[p.rank] <- readyTok{t: p.clock, m: p.popRet(pr.peer)}:
-			case <-p.w.abort:
-				panic(errAborted)
-			}
+			p.sendReady(pr, readyTok{t: p.clock, m: p.popRet(pr.slot)})
 		}
 		return
 	}
@@ -218,14 +216,9 @@ func (p *proc) execSR(t *comm.Transfer, st *commSched, lib *machine.Lib) {
 			// Wait for the destination's ready notification before
 			// putting; this couples the two clocks. A token may carry a
 			// recycled message for this pair's free list.
-			var tok readyTok
-			select {
-			case tok = <-p.readyFrom[pr.peer]:
-			case <-p.w.abort:
-				panic(errAborted)
-			}
-			if tok.m != nil && len(p.sendPool[pr.peer]) < poolCap {
-				p.sendPool[pr.peer] = append(p.sendPool[pr.peer], tok.m)
+			tok := p.recvReady(pr.slot)
+			if tok.m != nil && len(p.sendPool[pr.slot]) < poolCap {
+				p.sendPool[pr.slot] = append(p.sendPool[pr.slot], tok.m)
 			}
 			p.waitFor(tok.t, "wait ready")
 		}
@@ -260,7 +253,7 @@ func (p *proc) send(t *comm.Transfer, pr *packPair, lib *machine.Lib) {
 			m.payload[n] = p.fields[t.Items[n].ID].ExtractRect(rect)
 		}
 	} else {
-		m = p.takeMsg(pr.peer, pr.doubles)
+		m = p.takeMsg(pr.slot, pr.doubles)
 		m.tag = t.ID
 		m.bytes = pr.bytes
 		m.avail = avail
@@ -277,8 +270,62 @@ func (p *proc) send(t *comm.Transfer, pr *packPair, lib *machine.Lib) {
 			p.tr.Add(trace.Event{Kind: trace.KindSend, Start: p.clock, Name: "send", A0: int64(pr.peer), A1: int64(pr.bytes)})
 		}
 	}
+	p.sendData(pr, m)
+}
+
+// sendData enqueues a message at the peer. Scheduler mode delivers into
+// the peer's mailbox (never blocking — see sched.go); the goroutine
+// oracle sends on the peer's channel, whose capacity pairChanCap proves
+// sufficient.
+func (p *proc) sendData(pr *packPair, m *dataMsg) {
+	dst := p.w.procs[pr.peer]
+	if p.w.mn {
+		p.deliverData(dst, pr.back, m)
+		return
+	}
 	select {
-	case p.w.procs[pr.peer].in[p.rank] <- m:
+	case dst.in[pr.back] <- m:
+	case <-p.w.abort:
+		panic(errAborted)
+	}
+}
+
+// sendReady posts a rendezvous ready token (destination-ready protocol)
+// to the peer we are about to receive from.
+func (p *proc) sendReady(pr *packPair, tok readyTok) {
+	dst := p.w.procs[pr.peer]
+	if p.w.mn {
+		p.deliverTok(dst, pr.back, tok)
+		return
+	}
+	select {
+	case dst.readyFrom[pr.back] <- tok:
+	case <-p.w.abort:
+		panic(errAborted)
+	}
+}
+
+// recvReady takes the next ready token from the neighbor at slot.
+func (p *proc) recvReady(slot int) readyTok {
+	if p.w.mn {
+		return p.nextTok(slot)
+	}
+	select {
+	case tok := <-p.readyFrom[slot]:
+		return tok
+	case <-p.w.abort:
+		panic(errAborted)
+	}
+}
+
+// recvData takes the next data message from the neighbor at slot.
+func (p *proc) recvData(slot int) *dataMsg {
+	if p.w.mn {
+		return p.nextData(slot)
+	}
+	select {
+	case m := <-p.in[slot]:
+		return m
 	case <-p.w.abort:
 		panic(errAborted)
 	}
@@ -290,7 +337,7 @@ func (p *proc) execDN(t *comm.Transfer, st *commSched, lib *machine.Lib) {
 		if !active(lib, pr) {
 			continue
 		}
-		m := p.recvTagged(pr.peer, t.ID)
+		m := p.recvTagged(pr, t.ID)
 		if m.bytes != pr.bytes {
 			panic(fmt.Sprintf("rt: message size mismatch from %d: got %d want %d bytes", pr.peer, m.bytes, pr.bytes))
 		}
@@ -313,29 +360,25 @@ func (p *proc) execDN(t *comm.Transfer, st *commSched, lib *machine.Lib) {
 			continue
 		}
 		pr.unpack(m.flat)
-		p.recycleMsg(pr.peer, m)
+		p.recycleMsg(pr, m)
 	}
 }
 
-// recvTagged returns the next message from src for the given transfer
-// tag, stashing any messages for other transfers that arrive first.
-// Within one (pair, tag) stream order is preserved, so iterations of the
-// same transfer always match up.
-func (p *proc) recvTagged(src, tag int) *dataMsg {
+// recvTagged returns the next message from the pair's peer for the given
+// transfer tag, stashing any messages for other transfers that arrive
+// first. Within one (pair, tag) stream order is preserved, so iterations
+// of the same transfer always match up.
+func (p *proc) recvTagged(pr *packPair, tag int) *dataMsg {
+	slot := pr.slot
 	if p.pending != nil {
-		if q := p.pending[src][tag]; len(q) > 0 {
+		if q := p.pending[slot][tag]; len(q) > 0 {
 			m := q[0]
-			p.pending[src][tag] = q[1:]
+			p.pending[slot][tag] = q[1:]
 			return m
 		}
 	}
 	for {
-		var m *dataMsg
-		select {
-		case m = <-p.in[src]:
-		case <-p.w.abort:
-			panic(errAborted)
-		}
+		m := p.recvData(slot)
 		if m.tag == tag {
 			return m
 		}
@@ -343,12 +386,12 @@ func (p *proc) recvTagged(src, tag int) *dataMsg {
 		// the whole stash structure materializes only when pipelining
 		// actually reorders two transfers of a block.
 		if p.pending == nil {
-			p.pending = make([]map[int][]*dataMsg, p.w.mesh.Size())
+			p.pending = make([]map[int][]*dataMsg, len(p.neighbors))
 		}
-		if p.pending[src] == nil {
-			p.pending[src] = map[int][]*dataMsg{}
+		if p.pending[slot] == nil {
+			p.pending[slot] = map[int][]*dataMsg{}
 		}
-		p.pending[src][m.tag] = append(p.pending[src][m.tag], m)
+		p.pending[slot][m.tag] = append(p.pending[slot][m.tag], m)
 	}
 }
 

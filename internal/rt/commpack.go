@@ -32,7 +32,9 @@ type packRun struct {
 // n'th item) plus, on the pooled engine, the compiled run list covering
 // every non-empty rectangle in item order.
 type packPair struct {
-	peer    int
+	peer    int // the peer's rank
+	slot    int // the peer's slot in this processor's neighbor arrays
+	back    int // this processor's slot in the peer's neighbor arrays
 	bytes   int
 	doubles int // total payload length of the flat buffer
 	rects   []grid.Region

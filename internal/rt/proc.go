@@ -14,6 +14,13 @@ import (
 )
 
 // proc is one virtual processor: its data, clock and plumbing.
+//
+// Communication state is indexed by *neighbor slot*, not by peer rank:
+// transfers only ever move data between mesh neighbors, so each
+// processor has at most eight peers regardless of mesh size. slot-
+// indexed arrays keep per-processor footprint independent of the
+// processor count (rank-indexed arrays made 4096-proc worlds quadratic
+// in memory before they executed a single statement).
 type proc struct {
 	w         *world
 	rank      int
@@ -22,20 +29,28 @@ type proc struct {
 	fields    []*field.Field // by ArraySym.ID
 	scalars   []float64      // by ScalarSym.ID
 	fnCache   map[ir.Expr]evalFn
-	in        []chan *dataMsg // in[src]: data from processor src (mesh neighbors only)
-	readyFrom []chan readyTok // readyFrom[dst]: rendezvous tokens and recycled buffers posted by dst
-	// pending[src][tag] stashes out-of-order messages. The whole structure
+	neighbors []int           // mesh-neighbor ranks in deterministic (dr,dc) order
+	backSlots []int           // backSlots[s]: my slot index in neighbors[s]'s arrays
+	in        []chan *dataMsg // in[slot]: data from that neighbor (goroutine oracle only)
+	readyFrom []chan readyTok // readyFrom[slot]: rendezvous tokens and recycled buffers (goroutine oracle only)
+	// pending[slot][tag] stashes out-of-order messages. The whole structure
 	// is nil until the first message actually arrives out of order
 	// (recvTagged); fully in-order programs never pay for it.
 	pending []map[int][]*dataMsg
 
+	// M:N scheduler plumbing (sched.go). resume/yield carry the worker
+	// handoff (each holds at most one pending signal); mb is the mailbox
+	// peers deliver events into. All zero in goroutine-oracle mode.
+	mb     mbox
+	resume chan struct{}
+	yield  chan struct{}
+
 	// Pooled communication engine (commpack.go, bufpool.go): compiled
 	// transfer schedules and per-peer message free lists.
 	scheds   map[schedKey]*commSched
-	sendPool [][]*dataMsg // sendPool[peer]: recycled messages for sends to peer
-	retPool  [][]*dataMsg // retPool[src]: unpacked messages awaiting return to src
+	sendPool [][]*dataMsg // sendPool[slot]: recycled messages for sends to that neighbor
+	retPool  [][]*dataMsg // retPool[slot]: unpacked messages awaiting return to that neighbor
 	redVals  []float64    // rank 0's reduction gather scratch, reused across reductions
-	segs     map[*ir.Stmt][]comm.Segment
 
 	// Kernel-compiled execution engine (kernel.go): compiled statement
 	// kernels, reduction-partial kernels, the scratch arena that replaces
@@ -85,36 +100,76 @@ func (p *proc) jittered(d vtime.Duration) vtime.Duration {
 	return vtime.Duration(float64(d) * (1 + j*(2*u-1)))
 }
 
-func newProc(w *world, rank int) *proc {
-	r, c := w.mesh.Coord(rank)
-	p := &proc{
-		w: w, rank: rank, row: r, col: c,
-		fnCache:   map[ir.Expr]evalFn{},
-		in:        make([]chan *dataMsg, w.mesh.Size()),
-		readyFrom: make([]chan readyTok, w.mesh.Size()),
-		sendPool:  make([][]*dataMsg, w.mesh.Size()),
-		retPool:   make([][]*dataMsg, w.mesh.Size()),
-		kernels:   map[kernelKey]*kernel{},
-		rkernels:  map[reduceKey]*reduceKernel{},
-		scheds:    map[schedKey]*commSched{},
-		segs:      map[*ir.Stmt][]comm.Segment{},
-		xfers:     map[*comm.Transfer]*commSched{},
-		rng:       uint64(rank)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
-	}
-	// Transfers only ever move data between mesh neighbors (geometry
-	// derives pairs from neighborDirs, whose displacements are in
-	// {-1,0,1}²), so channels exist only for those pairs. Allocating the
-	// full rank×rank matrix dominated whole-run wall-clock: 64 processors
-	// meant 8192 buffered channels zeroed per Run.
+// neighborRanks enumerates rank's mesh neighbors in the fixed (dr,dc)
+// order every slot index is derived from. Transfers only ever move data
+// between mesh neighbors (geometry derives pairs from neighborDirs,
+// whose displacements are in {-1,0,1}²), so at most eight slots exist.
+func neighborRanks(mesh grid.Mesh, rank int) []int {
+	var out []int
 	for dr := -1; dr <= 1; dr++ {
 		for dc := -1; dc <= 1; dc++ {
 			if dr == 0 && dc == 0 {
 				continue
 			}
-			if q, ok := w.mesh.Neighbor(rank, dr, dc); ok {
-				p.in[q] = make(chan *dataMsg, w.chanCap)
-				p.readyFrom[q] = make(chan readyTok, w.chanCap)
+			if q, ok := mesh.Neighbor(rank, dr, dc); ok {
+				out = append(out, q)
 			}
+		}
+	}
+	return out
+}
+
+// slotIn returns rank's slot index in owner's neighbor enumeration.
+func slotIn(mesh grid.Mesh, owner, rank int) int {
+	for s, q := range neighborRanks(mesh, owner) {
+		if q == rank {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("rt: proc %d is not a neighbor of proc %d", rank, owner))
+}
+
+// slotOf returns the slot index of a neighbor rank.
+func (p *proc) slotOf(rank int) int {
+	for s, q := range p.neighbors {
+		if q == rank {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("rt: proc %d is not a neighbor of proc %d", rank, p.rank))
+}
+
+func newProc(w *world, rank int) *proc {
+	r, c := w.mesh.Coord(rank)
+	p := &proc{
+		w: w, rank: rank, row: r, col: c,
+		fnCache:   map[ir.Expr]evalFn{},
+		neighbors: neighborRanks(w.mesh, rank),
+		kernels:   map[kernelKey]*kernel{},
+		rkernels:  map[reduceKey]*reduceKernel{},
+		scheds:    map[schedKey]*commSched{},
+		xfers:     map[*comm.Transfer]*commSched{},
+		rng:       uint64(rank)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+	}
+	n := len(p.neighbors)
+	p.backSlots = make([]int, n)
+	for s, q := range p.neighbors {
+		p.backSlots[s] = slotIn(w.mesh, q, rank)
+	}
+	p.sendPool = make([][]*dataMsg, n)
+	p.retPool = make([][]*dataMsg, n)
+	if w.mn {
+		p.mb.data = make([][]*dataMsg, n)
+		p.mb.toks = make([][]readyTok, n)
+		p.mb.rets = make([][]*dataMsg, n)
+		p.resume = make(chan struct{}, 1)
+		p.yield = make(chan struct{}, 1)
+	} else {
+		p.in = make([]chan *dataMsg, n)
+		p.readyFrom = make([]chan readyTok, n)
+		for s := range p.neighbors {
+			p.in[s] = make(chan *dataMsg, w.chanCap)
+			p.readyFrom[s] = make(chan readyTok, w.chanCap)
 		}
 	}
 	return p
@@ -154,22 +209,69 @@ func (p *proc) waitUntil(t vtime.Time) {
 	}
 }
 
-// segments caches one statement list's segmentation: body re-runs on
-// every loop iteration, and the split of an immutable IR body never
-// changes, so computing it once per proc removes the dominant steady-state
-// allocation of loop-heavy programs. The key is the address of the list's
-// first element, which identifies the body (every statement belongs to
-// exactly one).
+// segments returns one statement list's segmentation from the world's
+// precomputed table (setup walks every reachable body once). The key is
+// the address of the list's first element, which identifies the body
+// (every statement belongs to exactly one). Sharing the table across
+// processors replaces what used to be a per-proc cache — the split of an
+// immutable IR body never changes, so N procs were holding N identical
+// copies.
 func (p *proc) segments(stmts []ir.Stmt) []comm.Segment {
 	if len(stmts) == 0 {
 		return nil
 	}
-	if s, ok := p.segs[&stmts[0]]; ok {
-		return s
+	s, ok := p.w.segs[&stmts[0]]
+	if !ok {
+		panic("rt: statement list missing from segmentation table")
 	}
-	s := comm.SplitSegments(stmts)
-	p.segs[&stmts[0]] = s
 	return s
+}
+
+// run executes the program body and folds this processor's statistics
+// into the world. It is the per-processor entry point of both execution
+// modes; on panic the fold is skipped (the run is aborting anyway).
+func (p *proc) run() {
+	p.body(p.w.prog.Main.Body)
+	p.finish()
+}
+
+// procStat is one processor's contribution to the run's Result, folded
+// into world.stats when its body completes. Completion order depends on
+// scheduling; gather merges by the recorded rank so results do not.
+type procStat struct {
+	rank         int
+	bd           Breakdown
+	messages     int
+	bytesSent    int64
+	dynTransfers int
+	reductions   int
+}
+
+// finish records this processor's statistics and releases its compiled
+// per-proc state. Kernels, schedules and pools are dead once the body
+// returns; dropping them as each processor completes caps peak memory at
+// high processor counts instead of holding every processor's caches
+// until gather. Fields, output and observability state survive — gather
+// still reads them.
+func (p *proc) finish() {
+	w := p.w
+	st := procStat{
+		rank: p.rank,
+		bd: Breakdown{
+			Compute: p.computeT, Comm: p.commT, Wait: p.waitT,
+			Finish: vtime.Duration(p.clock),
+		},
+		messages:     p.messages,
+		bytesSent:    p.bytesSent,
+		dynTransfers: p.dynTransfers,
+		reductions:   p.reductions,
+	}
+	w.statsMu.Lock()
+	w.stats = append(w.stats, st)
+	w.statsMu.Unlock()
+	p.kernels, p.rkernels, p.scheds, p.fnCache = nil, nil, nil, nil
+	p.sendPool, p.retPool, p.pending, p.redVals = nil, nil, nil, nil
+	p.arena = arena{}
 }
 
 // body interprets a structured statement list, alternating between
@@ -442,21 +544,11 @@ func (p *proc) allreduce(op ir.ReduceOp, val float64) float64 {
 			acc = op.Combine(acc, v)
 		}
 		for rank := 0; rank < n; rank++ {
-			out := redMsg{seq: seq, val: acc, t: tmax}
-			select {
-			case w.bcast[rank] <- out:
-			case <-w.abort:
-				panic(errAborted)
-			}
+			p.sendBcast(rank, redMsg{seq: seq, val: acc, t: tmax})
 		}
 	}
 
-	var m redMsg
-	select {
-	case m = <-w.bcast[p.rank]:
-	case <-w.abort:
-		panic(errAborted)
-	}
+	m := p.recvBcast()
 	if m.seq != seq {
 		panic(fmt.Sprintf("rt: reduction broadcast mismatch: got %d want %d", m.seq, seq))
 	}
@@ -483,7 +575,16 @@ func bits(p int) int {
 	return n
 }
 
+// sendRed delivers a reduction contribution to the collector (rank 0).
+// In scheduler mode both contributions and broadcasts share rank 0's
+// reduction inbox; FIFO order keeps them straight — rank 0 appends its
+// own broadcast before any other processor can observe that broadcast
+// and race ahead to the next reduction's contribution.
 func (p *proc) sendRed(m redMsg) {
+	if p.w.mn {
+		p.deliverRed(p.w.procs[0], m)
+		return
+	}
 	select {
 	case p.w.collect <- m:
 	case <-p.w.abort:
@@ -492,8 +593,35 @@ func (p *proc) sendRed(m redMsg) {
 }
 
 func (p *proc) recvRed() redMsg {
+	if p.w.mn {
+		return p.nextRed()
+	}
 	select {
 	case m := <-p.w.collect:
+		return m
+	case <-p.w.abort:
+		panic(errAborted)
+	}
+}
+
+func (p *proc) sendBcast(rank int, m redMsg) {
+	if p.w.mn {
+		p.deliverRed(p.w.procs[rank], m)
+		return
+	}
+	select {
+	case p.w.bcast[rank] <- m:
+	case <-p.w.abort:
+		panic(errAborted)
+	}
+}
+
+func (p *proc) recvBcast() redMsg {
+	if p.w.mn {
+		return p.nextRed()
+	}
+	select {
+	case m := <-p.w.bcast[p.rank]:
 		return m
 	case <-p.w.abort:
 		panic(errAborted)

@@ -50,6 +50,21 @@ type Config struct {
 	// ForceInterpreter.
 	ForceLegacyComm bool
 
+	// ForceGoroutinePerProc disables the M:N scheduler and runs every
+	// virtual processor on its own OS-scheduled goroutine with blocking
+	// channel communication — the execution model the scheduler replaced.
+	// Simulated results must be identical either way; the flag exists as
+	// the scheduler's differential-testing oracle, mirroring
+	// ForceInterpreter and ForceLegacyComm.
+	ForceGoroutinePerProc bool
+
+	// SchedWorkers bounds the M:N scheduler's worker pool for this run
+	// (0 = GOMAXPROCS). Independent of the pool size, every worker step
+	// also passes through a process-wide admission budget of GOMAXPROCS
+	// tokens shared by all concurrent runs, so harness parallelism can
+	// never oversubscribe the host.
+	SchedWorkers int
+
 	// Trace, when non-nil, records virtual-time-stamped events (IRONMAN
 	// calls, message sends/receives, statement executions, reductions and
 	// blocking waits) into the recorder's per-processor ring buffers.
@@ -188,16 +203,31 @@ type world struct {
 
 	interp     bool // run array statements on the interpreter, not kernels
 	legacyComm bool // per-rectangle allocating messages, not pooled flat buffers
+	mn         bool // M:N scheduler (default), not goroutine-per-proc
 	chanCap    int  // per-pair channel capacity, derived from the plan
 
 	configVals []float64     // by ScalarSym.ID, configs+consts evaluated
 	regionVals []grid.Region // by RegionSym.ID, evaluated declared regions
 	master     [2]grid.Span  // anchor spans for the block distribution
 
-	procs []*proc
+	// segs is the precomputed segmentation of every statement list
+	// reachable from the program, keyed by the address of the list's
+	// first element. Built once at setup and read-only afterwards, so all
+	// processors share it without locks.
+	segs map[*ir.Stmt][]comm.Segment
 
-	// reduction plumbing: every processor sends its contribution to the
-	// collector (rank 0 drains it), then reads its broadcast channel.
+	procs []*proc
+	sched *scheduler // M:N scheduler state; nil in goroutine-oracle mode
+
+	// stats collects each processor's contribution as its body completes.
+	// Append order follows completion order — which under the scheduler
+	// depends on worker interleaving — so gather merges by rank.
+	stats   []procStat
+	statsMu sync.Mutex
+
+	// reduction plumbing of the goroutine oracle: every processor sends
+	// its contribution to the collector (rank 0 drains it), then reads
+	// its broadcast channel. The scheduler uses mailboxes instead.
 	collect chan redMsg
 	bcast   []chan redMsg
 
@@ -221,6 +251,9 @@ func (w *world) fail(err error) {
 	}
 	w.abortMu.Unlock()
 	w.abortOnce.Do(func() { close(w.abort) })
+	if w.sched != nil {
+		w.sched.halt()
+	}
 }
 
 // errAborted signals that another processor already failed.
@@ -259,14 +292,19 @@ func Run(prog *ir.Program, plan *comm.Plan, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	mesh, err := grid.MeshFor(cfg.Procs)
+	if err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
 	w := &world{
 		prog:       prog,
 		plan:       plan,
 		mach:       cfg.Machine,
 		lib:        lib,
-		mesh:       grid.SquarestMesh(cfg.Procs),
+		mesh:       mesh,
 		interp:     cfg.ForceInterpreter,
 		legacyComm: cfg.ForceLegacyComm,
+		mn:         !cfg.ForceGoroutinePerProc,
 		chanCap:    pairChanCap(plan),
 		abort:      make(chan struct{}),
 	}
@@ -274,6 +312,21 @@ func Run(prog *ir.Program, plan *comm.Plan, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	if w.mn {
+		w.runSched(cfg.SchedWorkers, (*proc).run)
+	} else {
+		w.runGoroutinePerProc()
+	}
+	if w.abortErr != nil {
+		return nil, w.abortErr
+	}
+	return w.gather(), nil
+}
+
+// runGoroutinePerProc is the legacy execution model and the scheduler's
+// differential oracle: one OS-scheduled goroutine per virtual processor,
+// blocking on channels.
+func (w *world) runGoroutinePerProc() {
 	var wg sync.WaitGroup
 	for _, p := range w.procs {
 		wg.Add(1)
@@ -287,14 +340,10 @@ func Run(prog *ir.Program, plan *comm.Plan, cfg Config) (*Result, error) {
 					w.fail(fmt.Errorf("rt: processor %d: %v", p.rank, r))
 				}
 			}()
-			p.body(prog.Main.Body)
+			p.run()
 		}(p)
 	}
 	wg.Wait()
-	if w.abortErr != nil {
-		return nil, w.abortErr
-	}
-	return w.gather(), nil
 }
 
 // setup evaluates configs, constants and regions, builds the distribution
@@ -367,14 +416,49 @@ func (w *world) setup(cfg Config) error {
 		minBlock = c
 	}
 	if maxGhost > 0 && minBlock < maxGhost {
-		return fmt.Errorf("rt: block size %d smaller than ghost width %d; use fewer processors or a larger problem", minBlock, maxGhost)
+		return fmt.Errorf("rt: %d processors partition the %dx%d problem as a %s mesh, leaving blocks %d wide — smaller than the %d-wide ghost region; use fewer processors or a larger problem",
+			w.mesh.Size(), w.master[0].Len(), w.master[1].Len(), w.mesh, minBlock, maxGhost)
 	}
 
-	w.collect = make(chan redMsg, w.mesh.Size()+1)
-	w.bcast = make([]chan redMsg, w.mesh.Size())
-	for i := range w.bcast {
-		w.bcast[i] = make(chan redMsg, 4)
+	// Segment every statement list the program can reach, once, shared by
+	// all processors (segments()).
+	w.segs = map[*ir.Stmt][]comm.Segment{}
+	var walk func(stmts []ir.Stmt)
+	walk = func(stmts []ir.Stmt) {
+		if len(stmts) == 0 {
+			return
+		}
+		if _, ok := w.segs[&stmts[0]]; ok {
+			return
+		}
+		w.segs[&stmts[0]] = comm.SplitSegments(stmts)
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ir.If:
+				walk(s.Then)
+				walk(s.Else)
+			case *ir.Repeat:
+				walk(s.Body)
+			case *ir.While:
+				walk(s.Body)
+			case *ir.For:
+				walk(s.Body)
+			}
+		}
 	}
+	walk(prog.Main.Body)
+	for _, pr := range prog.Procs {
+		walk(pr.Body)
+	}
+
+	if !w.mn {
+		w.collect = make(chan redMsg, w.mesh.Size()+1)
+		w.bcast = make([]chan redMsg, w.mesh.Size())
+		for i := range w.bcast {
+			w.bcast[i] = make(chan redMsg, 4)
+		}
+	}
+	w.stats = make([]procStat, 0, w.mesh.Size())
 	w.procs = make([]*proc, w.mesh.Size())
 	for rank := range w.procs {
 		w.procs[rank] = newProc(w, rank)
@@ -499,23 +583,32 @@ func evalRegionBounds(ev *scalarEnv, rank int, bounds [grid.MaxRank][2]ir.Expr) 
 	return grid.NewRegion(rank, spans...), nil
 }
 
-// gather assembles the final global arrays and statistics.
+// gather assembles the final global arrays and statistics from the
+// per-processor stats folded in at completion. world.stats is in
+// completion order — under the scheduler that order depends on worker
+// interleaving — so every merge here keys on the recorded rank, never on
+// arrival position.
 func (w *world) gather() *Result {
 	res := &Result{Mesh: w.mesh, arrays: map[string]*Dense{}}
-	for _, p := range w.procs {
-		bd := Breakdown{Compute: p.computeT, Comm: p.commT, Wait: p.waitT, Finish: vtime.Duration(p.clock)}
-		res.PerProc = append(res.PerProc, bd)
-		if t := vtime.Duration(p.clock); t > res.ExecTime {
-			res.ExecTime = t
+	res.PerProc = make([]Breakdown, len(w.procs))
+	for _, st := range w.stats {
+		res.PerProc[st.rank] = st.bd
+		res.Messages += st.messages
+		res.BytesSent += st.bytesSent
+		if st.rank == 0 {
+			res.DynamicTransfers = st.dynTransfers
+			res.Reductions = st.reductions
+		}
+	}
+	// Critical path: among processors tied for the latest finish, the
+	// lowest rank wins, independent of completion order.
+	for _, bd := range res.PerProc {
+		if bd.Finish > res.ExecTime {
+			res.ExecTime = bd.Finish
 			res.Breakdown = bd
 		}
-		res.Messages += p.messages
-		res.BytesSent += p.bytesSent
 	}
-	p0 := w.procs[0]
-	res.DynamicTransfers = p0.dynTransfers
-	res.Reductions = p0.reductions
-	res.Output = p0.output.String()
+	res.Output = w.procs[0].output.String()
 	res.Profile = w.gatherProfile()
 	res.Metrics = w.gatherMetrics()
 

@@ -1,0 +1,210 @@
+// Scheduler benchmarks live in package rt_test beside the comm-path
+// benchmarks so the emitters share helpers without import cycles.
+package rt_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"commopt/internal/comm"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/programs"
+	"commopt/internal/rt"
+	"commopt/internal/zpl"
+)
+
+// schedBenchSrc is a five-point stencil sized so partitions up to 1024
+// processors keep blocks no smaller than the ghost width: the per-proc
+// compute shrinks with the partition while the scheduling and
+// communication machinery per proc stays constant, which is exactly what
+// BenchmarkScheduler measures.
+const schedBenchSrc = `program sbench;
+config var n : integer = 128;
+config var iters : integer = 24;
+region R = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+direction east = [0, 1]; west = [0, -1]; north = [-1, 0]; south = [1, 0];
+var U, V : [R] float;
+var resid : float;
+procedure main();
+begin
+  [R] U := Index1 + Index2;
+  for t := 1 to iters do
+    [Int] begin
+      V := 0.25 * (U@east + U@west + U@north + U@south);
+      resid := max<< abs(V - U);
+      U := V;
+    end;
+  end;
+end;
+`
+
+func schedBenchPlan(tb testing.TB) (*ir.Program, *comm.Plan) {
+	tb.Helper()
+	ast, err := zpl.Parse(schedBenchSrc)
+	if err != nil {
+		tb.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		tb.Fatalf("lower: %v", err)
+	}
+	return prog, comm.BuildPlan(prog, comm.PL())
+}
+
+// benchScheduler runs the stencil at one partition size under the M:N
+// scheduler (or the goroutine oracle) and reports, besides wall-clock,
+// the heap bytes each simulated run allocates per virtual processor —
+// the number that must stay flat for 4096-proc worlds to fit.
+func benchScheduler(b *testing.B, procs int, oracle bool) {
+	b.Helper()
+	prog, plan := schedBenchPlan(b)
+	cfg := rt.Config{Machine: machine.T3D(), Library: "pvm", Procs: procs, ForceGoroutinePerProc: oracle}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(prog, plan, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perProc := float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N) / float64(procs)
+	b.ReportMetric(perProc, "bytes/proc")
+}
+
+func BenchmarkScheduler64(b *testing.B)   { benchScheduler(b, 64, false) }
+func BenchmarkScheduler256(b *testing.B)  { benchScheduler(b, 256, false) }
+func BenchmarkScheduler1024(b *testing.B) { benchScheduler(b, 1024, false) }
+
+// BenchmarkSchedulerOracle64 is the goroutine-per-proc oracle at the
+// paper's partition size, for direct comparison with BenchmarkScheduler64.
+func BenchmarkSchedulerOracle64(b *testing.B) { benchScheduler(b, 64, true) }
+
+// schedBenchReport is the wire form of BENCH_sched.json.
+type schedBenchReport struct {
+	Benchmark string `json:"benchmark"`
+	Grid      string `json:"grid"`
+
+	Rows []schedBenchRow `json:"rows"`
+
+	// Oracle comparison at 64 procs: the goroutine-per-proc model the
+	// scheduler replaced.
+	Oracle64NsOp      int64   `json:"oracle64_ns_per_op"`
+	Oracle64BytesProc float64 `json:"oracle64_bytes_per_proc"`
+
+	// Wall-clock seconds for one scheduler run of the simple benchmark
+	// (paper problem size) at 1024 procs — the scaling smoke number.
+	Smoke1024Seconds float64 `json:"smoke1024_seconds"`
+}
+
+type schedBenchRow struct {
+	Procs     int     `json:"procs"`
+	NsOp      int64   `json:"ns_per_op"`
+	BytesProc float64 `json:"bytes_per_proc"`
+}
+
+// TestEmitSchedBenchJSON regenerates BENCH_sched.json, the checked-in
+// snapshot of the scheduler benchmarks. Skipped unless BENCH_SCHED_JSON
+// names the output file:
+//
+//	BENCH_SCHED_JSON=$PWD/BENCH_sched.json go test ./internal/rt -run TestEmitSchedBenchJSON -count=1
+func TestEmitSchedBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SCHED_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SCHED_JSON=<output path> to emit scheduler benchmark numbers")
+	}
+	report := schedBenchReport{Benchmark: "BenchmarkScheduler", Grid: "128x128, 24 iterations"}
+	for _, bench := range []struct {
+		procs int
+		fn    func(*testing.B)
+	}{
+		{64, BenchmarkScheduler64}, {256, BenchmarkScheduler256}, {1024, BenchmarkScheduler1024},
+	} {
+		r := testing.Benchmark(bench.fn)
+		report.Rows = append(report.Rows, schedBenchRow{
+			Procs: bench.procs, NsOp: r.NsPerOp(), BytesProc: r.Extra["bytes/proc"],
+		})
+	}
+	or := testing.Benchmark(BenchmarkSchedulerOracle64)
+	report.Oracle64NsOp = or.NsPerOp()
+	report.Oracle64BytesProc = or.Extra["bytes/proc"]
+	report.Smoke1024Seconds = smoke1024Seconds(t)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// smoke1024Seconds runs the simple benchmark at its paper problem size on
+// a 1024-processor partition under the scheduler, returning the host
+// wall-clock.
+func smoke1024Seconds(t *testing.T) float64 {
+	t.Helper()
+	b, err := programs.ByName("simple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast, err := zpl.Parse(b.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := comm.BuildPlan(prog, comm.PL())
+	start := time.Now()
+	res, err := rt.Run(prog, plan, rt.Config{
+		Machine: machine.T3D(), Library: "pvm", Procs: 1024, ConfigVars: b.PaperConfig,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := time.Since(start).Seconds()
+	t.Logf("simple (paper size) at 1024 procs: simulated %v, host %.2fs, %d messages",
+		res.ExecTime, secs, res.Messages)
+	return secs
+}
+
+// TestSchedScaleSmoke is the CI scaling gate: a paper benchmark at 1024
+// simulated processors must complete under the scheduler within a
+// laptop-class time budget. Runs only when SCHED_SMOKE is set (the CI
+// sched-smoke job); the job's go-test timeout is the hard ceiling, this
+// assertion is the early, readable one.
+func TestSchedScaleSmoke(t *testing.T) {
+	if os.Getenv("SCHED_SMOKE") == "" {
+		t.Skip("set SCHED_SMOKE=1 to run the 1024-proc scaling smoke")
+	}
+	const budget = 90.0 // seconds
+	if secs := smoke1024Seconds(t); secs > budget {
+		t.Errorf("1024-proc run took %.1fs, budget %.0fs", secs, budget)
+	}
+}
+
+// TestSchedBenchBlocksFit pins the benchmark's geometry assumption: the
+// stencil's grid must keep every partition in the benchmark sweep legal
+// (blocks at least as wide as the ghost region), so a config edit cannot
+// silently turn the 1024-proc benchmark into an error path.
+func TestSchedBenchBlocksFit(t *testing.T) {
+	prog, plan := schedBenchPlan(t)
+	for _, procs := range []int{64, 256, 1024} {
+		if _, err := rt.Run(prog, plan, rt.Config{
+			Machine: machine.T3D(), Library: "pvm", Procs: procs,
+			ConfigVars: map[string]float64{"iters": 1},
+		}); err != nil {
+			t.Errorf("%d procs: %v", procs, err)
+		}
+	}
+}

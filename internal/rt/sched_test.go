@@ -1,0 +1,156 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"commopt/internal/grid"
+	"commopt/internal/machine"
+	"commopt/internal/vtime"
+)
+
+const schedTestSrc = `
+program schedtest;
+config var n : integer = 8;
+config var iters : integer = 4;
+region R = [1..n, 1..n];
+direction east = [0, 1]; west = [0, -1];
+var A, B : [R] float;
+var s : float;
+procedure main();
+begin
+  [R] A := Index1 + Index2;
+  for it := 1 to iters do
+    [R] B := (A@east + A@west) * 0.5;
+    [R] A := B;
+  end;
+  [R] s := +<< A;
+  writeln("s=", s);
+end;
+`
+
+// testWorld builds a ready-to-run world in scheduler mode without
+// starting it, so tests can drive custom processor bodies.
+func testWorld(t *testing.T, procs int) *world {
+	t.Helper()
+	prog, plan := compile(t, schedTestSrc)
+	mach := machine.T3D()
+	lib, err := mach.Lib("pvm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{
+		prog: prog, plan: plan, mach: mach, lib: lib,
+		mesh: grid.SquarestMesh(procs), mn: true,
+		chanCap: pairChanCap(plan), abort: make(chan struct{}),
+	}
+	if err := w.setup(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestSchedulerDeadlockDetected: a processor parked on an event nobody
+// will deliver must fail the run with a diagnostic naming the waiter,
+// not hang. (The goroutine oracle would block forever here — exact
+// deadlock detection is scheduler-mode behavior.)
+func TestSchedulerDeadlockDetected(t *testing.T) {
+	w := testWorld(t, 4)
+	w.runSched(2, func(p *proc) {
+		if p.rank == 0 {
+			p.nextData(0) // no peer ever sends: parks forever
+		}
+	})
+	if w.abortErr == nil {
+		t.Fatal("deadlocked run reported no error")
+	}
+	msg := w.abortErr.Error()
+	if !strings.Contains(msg, "scheduler deadlock") {
+		t.Errorf("error %q does not mention the deadlock", msg)
+	}
+	if !strings.Contains(msg, "proc 0 waits for data") {
+		t.Errorf("error %q does not name the parked processor", msg)
+	}
+}
+
+// TestSchedulerAbortUnwindsParked: a processor failing while peers are
+// parked must abort the whole run promptly (kill pass), not leave
+// goroutines blocked.
+func TestSchedulerAbortUnwindsParked(t *testing.T) {
+	w := testWorld(t, 4)
+	w.runSched(2, func(p *proc) {
+		if p.rank == 3 {
+			panic("boom")
+		}
+		p.nextData(0) // parks until the abort unwinds it
+	})
+	if w.abortErr == nil || !strings.Contains(w.abortErr.Error(), "boom") {
+		t.Fatalf("abortErr = %v, want processor 3's panic", w.abortErr)
+	}
+}
+
+// TestGatherMergesByRank is the regression test for the order-dependent
+// result merge: processors now fold their stats in completion order,
+// which under the scheduler is arbitrary, and gather must key every
+// merge on the recorded rank. Finishing in reverse rank order here must
+// still put each processor's breakdown at its own rank, sum the
+// counters, and pick the critical path by lowest rank among ties.
+func TestGatherMergesByRank(t *testing.T) {
+	w := testWorld(t, 4)
+	// Ranks 1 and 2 tie for the latest finish with distinguishable
+	// splits; the critical path must be rank 1's.
+	shape := []Breakdown{
+		{Compute: 10, Finish: 10},
+		{Compute: 30, Finish: 30},
+		{Comm: 30, Finish: 30},
+		{Wait: 5, Finish: 5},
+	}
+	for rank := len(w.procs) - 1; rank >= 0; rank-- {
+		p := w.procs[rank]
+		p.computeT = shape[rank].Compute
+		p.commT = shape[rank].Comm
+		p.waitT = shape[rank].Wait
+		p.clock = vtime.Time(0).Add(shape[rank].Finish)
+		p.messages = rank
+		p.finish()
+	}
+	res := w.gather()
+	for rank, want := range shape {
+		if res.PerProc[rank] != want {
+			t.Errorf("PerProc[%d] = %+v, want %+v", rank, res.PerProc[rank], want)
+		}
+	}
+	if res.Messages != 0+1+2+3 {
+		t.Errorf("Messages = %d, want 6", res.Messages)
+	}
+	if res.ExecTime != 30 || res.Breakdown != shape[1] {
+		t.Errorf("critical path = %+v at %v, want rank 1's %+v", res.Breakdown, res.ExecTime, shape[1])
+	}
+}
+
+// TestSchedulerWorkerCountsAgree: the same program must produce
+// identical simulated results at any worker-pool size and under the
+// goroutine oracle.
+func TestSchedulerWorkerCountsAgree(t *testing.T) {
+	prog, plan := compile(t, schedTestSrc)
+	mach := machine.T3D()
+	base, err := Run(prog, plan, Config{Machine: mach, Library: "pvm", Procs: 16, ForceGoroutinePerProc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8, 64} {
+		res, err := Run(prog, plan, Config{Machine: mach, Library: "pvm", Procs: 16, SchedWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.ExecTime != base.ExecTime || res.Output != base.Output {
+			t.Errorf("workers=%d: ExecTime %v Output %q; oracle %v %q",
+				workers, res.ExecTime, res.Output, base.ExecTime, base.Output)
+		}
+		for r := range res.PerProc {
+			if res.PerProc[r] != base.PerProc[r] {
+				t.Errorf("workers=%d: PerProc[%d] = %+v, oracle %+v", workers, r, res.PerProc[r], base.PerProc[r])
+			}
+		}
+	}
+}

@@ -26,6 +26,9 @@ import (
 // of virtual processors on a fixed worker pool, and the process-wide step
 // budget keeps the sweep itself from oversubscribing the host.
 func ScalingLaw(benchName string, procCounts []int, quick bool, workers int) (*report.Table, error) {
+	if len(procCounts) == 0 {
+		return nil, fmt.Errorf("experiments: scaling law needs at least one proc count")
+	}
 	bench, err := programs.ByName(benchName)
 	if err != nil {
 		return nil, err
@@ -91,12 +94,20 @@ func ScalingLaw(benchName string, procCounts []int, quick bool, workers int) (*r
 					cfg[name] = v
 				}
 				cfg["n"] = sizes[k.size]
-				res, err := rt.Run(c.prog, plans[k.level], rt.Config{
+				rtCfg := rt.Config{
 					Machine:    machine.T3D(),
 					Library:    "pvm",
 					Procs:      procCounts[k.procs],
 					ConfigVars: cfg,
-				})
+				}
+				if n > 1 {
+					// Same policy as Runner.runCell: concurrent cells are
+					// independent simulations, so spend the process-wide
+					// step budget on cell-level parallelism rather than
+					// intra-world worker contention.
+					rtCfg.SchedWorkers = 1
+				}
+				res, err := rt.Run(c.prog, plans[k.level], rtCfg)
 				mu.Lock()
 				if err != nil {
 					cellErrs[k] = fmt.Errorf("%s n=%g at %d procs (%s): %w",

@@ -39,11 +39,15 @@ type proc struct {
 	pending []map[int][]*dataMsg
 
 	// M:N scheduler plumbing (sched.go). resume/yield carry the worker
-	// handoff (each holds at most one pending signal); mb is the mailbox
-	// peers deliver events into. All zero in goroutine-oracle mode.
+	// handoff (each holds at most one pending signal); every yield carries
+	// the reason — stateParked or stateDone — so the handing-off side is
+	// the single source of truth for whether the body finished (re-reading
+	// mb.state after the yield would race with a second worker that
+	// resumed us in the park/enqueue window). mb is the mailbox peers
+	// deliver events into. All zero in goroutine-oracle mode.
 	mb     mbox
 	resume chan struct{}
-	yield  chan struct{}
+	yield  chan procState
 
 	// Pooled communication engine (commpack.go, bufpool.go): compiled
 	// transfer schedules and per-peer message free lists.
@@ -163,7 +167,7 @@ func newProc(w *world, rank int) *proc {
 		p.mb.toks = make([][]readyTok, n)
 		p.mb.rets = make([][]*dataMsg, n)
 		p.resume = make(chan struct{}, 1)
-		p.yield = make(chan struct{}, 1)
+		p.yield = make(chan procState, 1)
 	} else {
 		p.in = make([]chan *dataMsg, n)
 		p.readyFrom = make([]chan readyTok, n)

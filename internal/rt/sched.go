@@ -257,17 +257,23 @@ func (s *scheduler) next() *proc {
 
 // step resumes one processor until it parks or completes. Reports whether
 // its body finished.
+//
+// The yield value, not mb.state, decides doneness: park() publishes
+// stateParked before the processor sends its yield, so a deliverer can
+// wake it and a second worker can begin another step (buffering a
+// resume) while our handshake is still in flight. Re-reading mb.state
+// here would then race with the processor's continued execution under
+// that second worker — if the body finished in the window, both steps
+// would observe stateDone and live would be decremented twice. Each
+// yield instead carries its own reason, and exactly one yield per
+// processor (the coroutine defer's) carries stateDone.
 func (s *scheduler) step(p *proc) bool {
 	p.mb.mu.Lock()
 	p.mb.state = stateRunning
 	p.mb.wait = waitNone
 	p.mb.mu.Unlock()
 	p.resume <- struct{}{}
-	<-p.yield
-	p.mb.mu.Lock()
-	done := p.mb.state == stateDone
-	p.mb.mu.Unlock()
-	return done
+	return <-p.yield == stateDone
 }
 
 // stepped retires one step's bookkeeping and wakes waiters when the run
@@ -345,7 +351,7 @@ func (p *proc) coroutine(body func(p *proc)) {
 		p.mb.mu.Lock()
 		p.mb.state = stateDone
 		p.mb.mu.Unlock()
-		p.yield <- struct{}{}
+		p.yield <- stateDone
 	}()
 	<-p.resume
 	if p.w.sched.stopped() {
@@ -362,7 +368,7 @@ func (p *proc) coroutine(body func(p *proc)) {
 // consumer queues, but the loop keeps the protocol robust either way).
 func (p *proc) parkLocked() {
 	p.mb.mu.Unlock()
-	p.yield <- struct{}{}
+	p.yield <- stateParked
 	<-p.resume
 	if p.w.sched.stopped() {
 		panic(errAborted)

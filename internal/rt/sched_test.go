@@ -1,7 +1,9 @@
 package rt
 
 import (
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"commopt/internal/grid"
@@ -125,6 +127,73 @@ func TestGatherMergesByRank(t *testing.T) {
 	}
 	if res.ExecTime != 30 || res.Breakdown != shape[1] {
 		t.Errorf("critical path = %+v at %v, want rank 1's %+v", res.Breakdown, res.ExecTime, shape[1])
+	}
+}
+
+// The park/step handshake race (TestSchedulerParkStepHandshake) needs
+// at least two workers stepping concurrently, but the process-wide step
+// budget (budgetTokens) is sized from GOMAXPROCS at first use — on a
+// single-CPU CI host one token serializes every step and the race is
+// unreachable. Raise GOMAXPROCS before any test runs so the budget
+// admits real worker concurrency; virtual-time results are independent
+// of host parallelism (TestSchedulerWorkerCountsAgree), so this only
+// adds scheduling chaos, which is what race regression tests want.
+func init() {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+}
+
+// TestSchedulerParkStepHandshake is the regression test for the
+// park/step handshake race: park() publishes stateParked before the
+// processor sends its yield, so a deliverer can wake and re-queue it —
+// and a second worker can begin stepping it, buffering a resume — while
+// the first worker's handshake is still in flight. The broken protocol
+// re-read mb.state after the yield; a body finishing in that window
+// made both steps observe stateDone, decrementing live twice, so the
+// scheduler could treat a world with unfinished processors as complete:
+// no deadlock error, a kill pass silently aborting live processors, and
+// missing per-proc stats. The fix carries doneness in the yield value
+// itself. This test hammers the window: even ranks park once on a
+// reduction message and finish immediately on wakeup (the widest
+// finish-in-window target), odd ranks deliver that wakeup, across many
+// fresh worlds. A double decrement shows up as live != 0 or as aborted
+// bodies (done < procs).
+func TestSchedulerParkStepHandshake(t *testing.T) {
+	prog, plan := compile(t, schedTestSrc)
+	mach := machine.T3D()
+	lib, err := mach.Lib("pvm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const procs, rounds = 16, 400
+	for round := 0; round < rounds; round++ {
+		w := &world{
+			prog: prog, plan: plan, mach: mach, lib: lib,
+			mesh: grid.SquarestMesh(procs), mn: true,
+			chanCap: pairChanCap(plan), abort: make(chan struct{}),
+		}
+		if err := w.setup(Config{}); err != nil {
+			t.Fatal(err)
+		}
+		var done atomic.Int32
+		w.runSched(8, func(p *proc) {
+			if p.rank%2 == 0 {
+				p.nextRed() // parks (rank order runs us before our waker)
+			} else {
+				p.deliverRed(w.procs[p.rank-1], redMsg{rank: p.rank})
+			}
+			done.Add(1)
+		})
+		if w.abortErr != nil {
+			t.Fatalf("round %d: unexpected abort: %v", round, w.abortErr)
+		}
+		if n := done.Load(); n != procs {
+			t.Fatalf("round %d: %d of %d bodies completed (live undercount aborted the rest)", round, n, procs)
+		}
+		if w.sched.live != 0 {
+			t.Fatalf("round %d: scheduler live = %d after completion, want 0", round, w.sched.live)
+		}
 	}
 }
 

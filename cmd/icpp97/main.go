@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, scalinglaw, profile")
+	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, scalinglaw, profile, predict")
 	procs := flag.Int("procs", 64, "processors in the simulated partition")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	workers := flag.Int("workers", 0, "benchmark×experiment cells simulated concurrently (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
@@ -130,6 +130,11 @@ func run(exp string, r *experiments.Runner) error {
 		// figure and table outputs stay byte-identical with and without
 		// observability built in.
 		return experiments.RunProfiles(w, r)
+	case "predict":
+		// Opt-in only, like profile: predicted-vs-measured is a validation
+		// appendix, not one of the paper's figures, so "all" stays
+		// byte-identical.
+		return table(experiments.PredictTable(r))
 	case "table1", "table2", "table3", "table4":
 		idx := int(exp[5] - '1')
 		return table(experiments.AppendixTable(r, experiments.BenchNames()[idx]))

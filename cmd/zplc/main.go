@@ -9,9 +9,13 @@
 //	zplc -bench tomcatv -counts         # compile a bundled benchmark
 //	zplc -bench tomcatv -explain        # what each optimization pass did
 //	zplc -passes emit,rr,pl file.zpl    # run an explicit pass list
+//	zplc -bench simple -predict -procs 64 -lib shmem
+//	                                    # closed-form communication forecast
+//	                                    # at the selected -O level
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,7 +23,9 @@ import (
 	"strings"
 
 	"commopt/internal/comm"
+	"commopt/internal/cost"
 	"commopt/internal/ir"
+	"commopt/internal/machine"
 	"commopt/internal/programs"
 	"commopt/internal/report"
 	"commopt/internal/vet"
@@ -47,6 +53,10 @@ type config struct {
 	counts  bool
 	explain bool
 	vet     bool
+	predict bool
+	procs   int
+	mach    string
+	lib     string
 	bench   string
 	inline  bool
 	hoist   bool
@@ -73,6 +83,10 @@ func parseArgs(args []string) (*config, error) {
 	fs.BoolVar(&cfg.counts, "counts", false, "print static counts under every optimization level")
 	fs.BoolVar(&cfg.explain, "explain", false, "print the per-pass pipeline trace (what each pass emitted, dropped, merged, moved)")
 	fs.BoolVar(&cfg.vet, "vet", false, "run the static-analysis suite (lint + plan verification, like zplvet) and fail on findings")
+	fs.BoolVar(&cfg.predict, "predict", false, "print the closed-form communication forecast for the selected -O level")
+	fs.IntVar(&cfg.procs, "procs", 64, "processor count for -predict")
+	fs.StringVar(&cfg.mach, "machine", "t3d", "machine model for -predict: t3d or paragon")
+	fs.StringVar(&cfg.lib, "lib", "pvm", "library binding for -predict (e.g. pvm, shmem, csend)")
 	fs.StringVar(&cfg.bench, "bench", "", "compile a bundled benchmark (tomcatv, swm, simple, sp) instead of a file")
 	fs.BoolVar(&cfg.inline, "inline", false, "inline procedure calls before communication analysis (Section 4 extension)")
 	fs.BoolVar(&cfg.hoist, "hoist", false, "hoist loop-invariant communication to loop preheaders (Section 4 extension)")
@@ -88,6 +102,9 @@ func parseArgs(args []string) (*config, error) {
 	}
 	if _, err := OptionsByName(cfg.level); err != nil {
 		return nil, err
+	}
+	if cfg.procs < 1 {
+		return nil, fmt.Errorf("-procs %d: need at least one processor", cfg.procs)
 	}
 	switch rest := fs.Args(); {
 	case cfg.bench != "" && len(rest) == 0:
@@ -211,6 +228,54 @@ func run(w io.Writer, cfg *config) error {
 	if cfg.dump {
 		dumpBlocks(w, plan)
 	}
+
+	if cfg.predict {
+		if err := renderPrediction(w, prog, plan, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderPrediction prints the closed-form communication forecast of the
+// compiled plan: the whole-program totals and the per-transfer breakdown
+// the static cost model derives from the block distribution and the
+// machine library's primitive costs.
+func renderPrediction(w io.Writer, prog *ir.Program, plan *comm.Plan, cfg *config) error {
+	var m *machine.Machine
+	switch cfg.mach {
+	case "t3d":
+		m = machine.T3D()
+	case "paragon":
+		m = machine.Paragon()
+	default:
+		return fmt.Errorf("unknown machine %q (have t3d, paragon)", cfg.mach)
+	}
+	pred, err := cost.Predict(prog, plan, cost.Config{
+		Machine: m, Library: cfg.lib, Procs: cfg.procs,
+	})
+	if err != nil {
+		if errors.Is(err, cost.ErrNotStatic) {
+			fmt.Fprintf(w, "prediction: not statically predictable: %v\n", err)
+			return nil
+		}
+		return err
+	}
+	fmt.Fprintf(w, "predicted communication on %s/%s, %d procs (%s mesh):\n",
+		cfg.mach, cfg.lib, cfg.procs, pred.Mesh)
+	fmt.Fprintf(w, "  %d messages, %d bytes, %d dynamic transfers, %d reductions\n",
+		pred.Messages, pred.BytesSent, pred.DynamicTransfers, pred.Reductions)
+	fmt.Fprintf(w, "  critical-path comm overhead %v (reductions contribute %v per proc)\n\n",
+		pred.CommTime(), pred.ReductionComm)
+	t := &report.Table{
+		Title:   "per-transfer forecast",
+		Headers: []string{"site", "transfer", "hoisted", "executions", "messages", "bytes", "comm (all procs)"},
+	}
+	for _, s := range pred.Sites {
+		t.AddRow(fmt.Sprintf("%d:%d", s.Pos.Line, s.Pos.Col), s.Label,
+			s.Hoisted, s.Executions, s.Messages, s.Bytes, s.Comm.String())
+	}
+	t.Render(w)
 	return nil
 }
 

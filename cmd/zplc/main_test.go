@@ -48,6 +48,7 @@ func TestParseArgsErrors(t *testing.T) {
 		{[]string{"-bench", "tomcatv", "extra.zpl"}, "usage"},
 		{[]string{"-wat", "prog.zpl"}, "not defined"},
 		{[]string{"-O", "bogus", "prog.zpl"}, "unknown optimization level"},
+		{[]string{"-predict", "-procs", "0", "prog.zpl"}, "at least one processor"},
 	}
 	for _, c := range cases {
 		_, err := parseArgs(c.args)
@@ -162,6 +163,34 @@ end;
 	msg := err.Error()
 	if !strings.Contains(msg, ":6:") || !strings.Contains(msg, ":7:") {
 		t.Errorf("error should name both broken lines, got:\n%s", msg)
+	}
+}
+
+func TestRunPredict(t *testing.T) {
+	var buf bytes.Buffer
+	cfg, err := parseArgs([]string{"-bench", "simple", "-predict", "-procs", "4", "-lib", "shmem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"predicted communication on t3d/shmem, 4 procs", "per-transfer forecast", "critical-path comm overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("predict output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPredictUnknownMachine(t *testing.T) {
+	var buf bytes.Buffer
+	cfg, err := parseArgs([]string{"-bench", "simple", "-predict", "-machine", "vax"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, cfg); err == nil || !strings.Contains(err.Error(), "unknown machine") {
+		t.Errorf("run with -machine vax: err = %v, want unknown machine", err)
 	}
 }
 

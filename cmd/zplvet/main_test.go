@@ -18,8 +18,14 @@ func TestParseArgs(t *testing.T) {
 		{[]string{"-bench", "tomcatv"}, false},
 		{[]string{"-bench", "all"}, false},
 		{[]string{"-rules"}, false},
-		{[]string{}, true},            // no inputs
-		{[]string{"-nonsense"}, true}, // unknown flag
+		{[]string{"-protocol", "file.zpl"}, false},
+		{[]string{"-cost", "-bench", "simple"}, false},
+		{[]string{"-cost", "-machine", "paragon", "-lib", "csend", "file.zpl"}, false},
+		{[]string{}, true},                              // no inputs
+		{[]string{"-nonsense"}, true},                   // unknown flag
+		{[]string{"-protocol", "-cost", "a.zpl"}, true}, // mutually exclusive
+		{[]string{"-cost", "-json", "a.zpl"}, true},     // tables have no JSON form
+		{[]string{"-protocol", "-procs", "0", "a.zpl"}, true},
 	}
 	for _, c := range cases {
 		_, err := parseArgs(c.args)
@@ -122,6 +128,86 @@ func TestRunBenchmarksClean(t *testing.T) {
 	}
 }
 
+// The usage-error exit code is 2, distinct from "findings reported".
+func TestRunUsageErrorExitCode(t *testing.T) {
+	for _, args := range [][]string{
+		{"-protocol", "-cost", "x.zpl"},
+		{"-cost", "-json", "x.zpl"},
+		{"-cost", "-machine", "vax", "-bench", "simple"},
+		{"/nonexistent/file.zpl"},
+	} {
+		var buf bytes.Buffer
+		code, err := run(&buf, args)
+		if code != 2 || err == nil {
+			t.Errorf("run(%v) = code %d, err %v; want code 2 and an error", args, code, err)
+		}
+	}
+}
+
+func TestRunProtocolCleanBenchmarks(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, []string{"-protocol", "-procs", "4", "-bench", "all"})
+	if err != nil || code != 0 {
+		t.Fatalf("protocol check on bundled benchmarks: code=%d err=%v output:\n%s", code, err, buf.String())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("clean protocol run produced output:\n%s", buf.String())
+	}
+}
+
+func TestRunProtocolJSON(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, []string{"-protocol", "-procs", "4", "-json", writeTemp(t, cleanSrc)})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("clean protocol JSON = %q, want empty array", got)
+	}
+}
+
+func TestRunCost(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run(&buf, []string{"-cost", "-procs", "4", writeTemp(t, cleanSrc)})
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v output:\n%s", code, err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"predicted communication", "baseline", "pl+hoist", "per-transfer breakdown", "B@[0,1,0]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cost output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A program whose loop bounds depend on computed data has no closed-form
+// prediction; -cost says so and still exits 0 (it is not a finding).
+func TestRunCostNotStatic(t *testing.T) {
+	const src = `program dyn;
+config var n : integer = 8;
+region R = [1..n, 1..n];
+direction east = [0, 1];
+var A, B : [R] float;
+var err : float;
+procedure main();
+begin
+  [R] B := 1.0;
+  repeat
+    [R] A := B@east;
+    [R] err := +<< A;
+  until err < 0.5;
+end;
+`
+	var buf bytes.Buffer
+	code, errRun := run(&buf, []string{"-cost", "-procs", "4", writeTemp(t, src)})
+	if errRun != nil || code != 0 {
+		t.Fatalf("code=%d err=%v output:\n%s", code, errRun, buf.String())
+	}
+	if !strings.Contains(buf.String(), "not statically predictable") {
+		t.Errorf("missing not-static note:\n%s", buf.String())
+	}
+}
+
 func TestRunRules(t *testing.T) {
 	var buf bytes.Buffer
 	code, err := run(&buf, []string{"-rules"})
@@ -129,7 +215,7 @@ func TestRunRules(t *testing.T) {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
 	out := buf.String()
-	for _, want := range []string{"unused-var", "plan-missing-transfer", "parse-error"} {
+	for _, want := range []string{"unused-var", "plan-missing-transfer", "parse-error", "proto-call-set", "proto-rendezvous-cycle"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("rule listing missing %s:\n%s", want, out)
 		}

@@ -170,6 +170,22 @@ type Transfer struct {
 	Hoisted bool
 }
 
+// CallPos returns the transfer's recorded statement-boundary position for
+// one IRONMAN call kind.
+func (t *Transfer) CallPos(k CallKind) int {
+	switch k {
+	case DR:
+		return t.DRPos
+	case SR:
+		return t.SRPos
+	case DN:
+		return t.DNPos
+	case SV:
+		return t.SVPos
+	}
+	panic(fmt.Sprintf("comm: bad call kind %d", k))
+}
+
 // absorbSites appends another transfer's callsites, skipping exact
 // duplicates, so dropping or merging a transfer never loses attribution.
 func (t *Transfer) absorbSites(o *Transfer) {

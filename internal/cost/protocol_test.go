@@ -1,0 +1,249 @@
+package cost
+
+import (
+	"testing"
+
+	"commopt/internal/comm"
+	"commopt/internal/diag"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/programs"
+	"commopt/internal/rt"
+	"commopt/internal/zpl"
+)
+
+// compileBench parses, lowers and plans one benchmark at one
+// optimization level, fresh each call so tests can corrupt the plan
+// without poisoning each other.
+func compileBench(t *testing.T, name string, opts comm.Options) (*ir.Program, *comm.Plan, map[string]float64) {
+	t.Helper()
+	bench, err := programs.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast, err := zpl.Parse(bench.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, comm.BuildPlan(prog, opts), bench.TestConfig
+}
+
+func testCfg(lib string, vars map[string]float64) Config {
+	return Config{Machine: machine.T3D(), Library: lib, Procs: 4, ConfigVars: vars}
+}
+
+func rules(fs []diag.Finding) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range fs {
+		out[f.Rule] = true
+	}
+	return out
+}
+
+// findCall locates the first block holding a call of the given kind and
+// returns the block plan plus the call's (boundary, slot) coordinates.
+func findCall(t *testing.T, plan *comm.Plan, kind comm.CallKind) (*comm.BlockPlan, int, int) {
+	t.Helper()
+	for _, bp := range plan.Blocks {
+		for pos, calls := range bp.Calls {
+			for slot, c := range calls {
+				if c.Kind == kind && !c.T.Hoisted {
+					return bp, pos, slot
+				}
+			}
+		}
+	}
+	t.Fatal("plan has no matching call")
+	return nil, 0, 0
+}
+
+// TestCheckCleanPlans is the positive control: every shipped plan of
+// every benchmark passes the full protocol check under both T3D
+// bindings with the capacity the runtime actually allocates.
+func TestCheckCleanPlans(t *testing.T) {
+	for _, bench := range programs.Suite() {
+		for _, opts := range []comm.Options{comm.Baseline(), comm.PL(), comm.PLMaxLatency()} {
+			prog, plan, vars := compileBench(t, bench.Name, opts)
+			for _, lib := range []string{"pvm", "shmem"} {
+				fs, err := Check(prog, plan, testCfg(lib, vars), rt.PairChanCap(plan))
+				if err != nil {
+					t.Fatalf("%s/%v/%s: %v", bench.Name, opts, lib, err)
+				}
+				for _, f := range fs {
+					t.Errorf("%s/%v/%s: unexpected finding %s: %s", bench.Name, opts, lib, f.Rule, f.Msg)
+				}
+			}
+		}
+	}
+}
+
+// TestMutationDroppedSV corrupts a plan by deleting one transfer's SV
+// call; the checker must flag the incomplete call set.
+func TestMutationDroppedSV(t *testing.T) {
+	prog, plan, vars := compileBench(t, "simple", comm.Baseline())
+	bp, pos, slot := findCall(t, plan, comm.SV)
+	bp.Calls[pos] = append(bp.Calls[pos][:slot], bp.Calls[pos][slot+1:]...)
+
+	fs := CheckPlan(plan)
+	if !rules(fs)[RuleCallSet] {
+		t.Fatalf("dropped SV not caught; findings: %v", fs)
+	}
+	// The full check surfaces the same corruption; the cost walk itself may
+	// additionally refuse the plan (the transfer never closes), which is
+	// fine — the structural findings still come back.
+	fs, _ = Check(prog, plan, testCfg("pvm", vars), rt.PairChanCap(plan))
+	if !rules(fs)[RuleCallSet] {
+		t.Fatalf("dropped SV not caught by full check; findings: %v", fs)
+	}
+}
+
+// TestMutationDuplicateSR duplicates an SR call: also a call-set
+// violation, at the same rule ID but a distinct message.
+func TestMutationDuplicateSR(t *testing.T) {
+	_, plan, _ := compileBench(t, "simple", comm.Baseline())
+	bp, pos, slot := findCall(t, plan, comm.SR)
+	bp.Calls[pos] = append(bp.Calls[pos], bp.Calls[pos][slot])
+
+	if fs := CheckPlan(plan); !rules(fs)[RuleCallSet] {
+		t.Fatalf("duplicate SR not caught; findings: %v", fs)
+	}
+}
+
+// TestMutationMisplacedCall moves a DN call one statement boundary
+// earlier than the transfer recorded, without touching the record: the
+// placement no longer matches and, once it crosses before SR, the SPMD
+// order breaks too.
+func TestMutationMisplacedCall(t *testing.T) {
+	_, plan, _ := compileBench(t, "simple", comm.Baseline())
+	bp, pos, slot := findCall(t, plan, comm.DN)
+	call := bp.Calls[pos][slot]
+	if call.T.DNPos == 0 {
+		t.Fatal("expected a DN call placed after the first boundary")
+	}
+	bp.Calls[pos] = append(bp.Calls[pos][:slot], bp.Calls[pos][slot+1:]...)
+	bp.Calls[0] = append([]comm.Call{call}, bp.Calls[0]...)
+
+	got := rules(CheckPlan(plan))
+	if !got[RuleCallSet] {
+		t.Fatalf("misplaced DN not caught as call-set violation")
+	}
+	if !got[RuleCallOrder] {
+		t.Fatalf("DN hoisted before SR not caught as order violation")
+	}
+}
+
+// TestMutationReorderedDR swaps a transfer's DR behind its SR in the
+// SPMD sequence, updating the recorded position so the call-set check
+// stays silent: under the rendezvous SHMEM binding every processor then
+// enters SR waiting for a destination-ready token nobody has sent, and
+// the checker must call out the wait cycle.
+func TestMutationReorderedDR(t *testing.T) {
+	prog, plan, vars := compileBench(t, "simple", comm.Baseline())
+	bp, pos, slot := findCall(t, plan, comm.DR)
+	call := bp.Calls[pos][slot]
+	dn := call.T.DNPos
+	bp.Calls[pos] = append(bp.Calls[pos][:slot], bp.Calls[pos][slot+1:]...)
+	bp.Calls[dn] = append(bp.Calls[dn], call)
+	call.T.DRPos = dn // keep placement consistent with the record
+
+	fs, err := Check(prog, plan, testCfg("shmem", vars), rt.PairChanCap(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rules(fs)
+	if !got[RuleRendezvousCycle] {
+		t.Fatalf("SR-before-DR under rendezvous not caught; findings: %v", fs)
+	}
+	if !got[RuleCallOrder] {
+		t.Fatalf("SR-before-DR not caught as order violation; findings: %v", fs)
+	}
+	if got[RuleCallSet] {
+		t.Fatalf("mutation should not trip the call-set rule; findings: %v", fs)
+	}
+}
+
+// TestMutationPairAsymmetry corrupts one derived shape — a receiver
+// expecting eight bytes more than its partner sends — and runs the
+// shape-dependent checks directly, proving the pairing rule rests on
+// the two independently computed tables actually agreeing.
+func TestMutationPairAsymmetry(t *testing.T) {
+	prog, plan, vars := compileBench(t, "simple", comm.Baseline())
+	w, err := analyze(prog, plan, testCfg("pvm", vars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, sh := range w.shapes {
+		for rank := range sh.recvs {
+			for i := range sh.recvs[rank] {
+				if sh.recvs[rank][i].bytes > 0 && !corrupted {
+					sh.recvs[rank][i].bytes += 8
+					corrupted = true
+				}
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("no non-empty receive pair to corrupt")
+	}
+	c := &checker{plan: plan}
+	c.shapes(w, rt.PairChanCap(plan))
+	if !rules(c.findings)[RulePairAsymmetry] {
+		t.Fatalf("corrupted pair table not caught; findings: %v", c.findings)
+	}
+}
+
+// TestMutationInflightOverflow shrinks the channel capacity below the
+// 2T+2 bound the plan needs; the checker must reject the configuration
+// the runtime's deadlock-freedom argument no longer covers.
+func TestMutationInflightOverflow(t *testing.T) {
+	prog, plan, vars := compileBench(t, "simple", comm.PL())
+	fs, err := Check(prog, plan, testCfg("pvm", vars), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rules(fs)[RuleInflightOverflow] {
+		t.Fatalf("capacity 3 not flagged; findings: %v", fs)
+	}
+	// The capacity the runtime actually allocates is exactly enough.
+	fs, err = Check(prog, plan, testCfg("pvm", vars), rt.PairChanCap(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("runtime capacity flagged: %v", fs)
+	}
+}
+
+// TestMutationHoistedCallInBlock re-adds a hoisted transfer's calls to
+// its origin block, the inverse of the hoist pass's contract.
+func TestMutationHoistedCallInBlock(t *testing.T) {
+	_, plan, _ := compileBench(t, "simple", comm.Options{
+		RemoveRedundant: true, Combine: true, Pipeline: true, HoistInvariant: true,
+	})
+	var hoisted *comm.Transfer
+	var bp *comm.BlockPlan
+	for _, b := range plan.Blocks {
+		for _, tr := range b.Transfers {
+			if tr.Hoisted {
+				hoisted, bp = tr, b
+				break
+			}
+		}
+		if hoisted != nil {
+			break
+		}
+	}
+	if hoisted == nil {
+		t.Skip("plan hoisted nothing")
+	}
+	bp.Calls[0] = append(bp.Calls[0], comm.Call{Kind: comm.DR, T: hoisted})
+
+	if fs := CheckPlan(plan); !rules(fs)[RuleCallSet] {
+		t.Fatalf("hoisted transfer's in-block call not caught; findings: %v", fs)
+	}
+}

@@ -63,6 +63,11 @@ type Cell struct {
 	Time     vtime.Duration
 	Messages int
 	Bytes    int64
+
+	// Comm is the critical-path communication software overhead: the
+	// largest per-processor Comm share of the breakdown. The predict
+	// experiment compares it against the static predictor's forecast.
+	Comm vtime.Duration
 }
 
 // Runner executes and caches benchmark runs on the simulated T3D.
@@ -221,6 +226,12 @@ func (r *Runner) runCell(benchName, expKey string) (Cell, error) {
 			return Cell{}, err
 		}
 	}
+	var maxComm vtime.Duration
+	for _, bd := range res.PerProc {
+		if bd.Comm > maxComm {
+			maxComm = bd.Comm
+		}
+	}
 	// The static count comes off the pipeline trace: the final pass's
 	// output count, which Build also records as plan.StaticCount.
 	return Cell{
@@ -229,6 +240,7 @@ func (r *Runner) runCell(benchName, expKey string) (Cell, error) {
 		Time:     res.ExecTime,
 		Messages: res.Messages,
 		Bytes:    res.BytesSent,
+		Comm:     maxComm,
 	}, nil
 }
 

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"commopt/internal/diag"
+	"commopt/internal/zpl"
+)
+
+func init() {
+	register(Rule{
+		ID:  "comm-cost",
+		Doc: "stencil read communicates every repeat iteration though its operand never changes in the loop (hoistable)",
+		Run: runCommCost,
+	})
+}
+
+// runCommCost flags @-reads inside repeat loops whose array is never
+// written anywhere in the loop (including through procedure calls): the
+// transfer moves identical data every iteration, so without the
+// hoist-invariant optimization the program pays its communication cost
+// once per iteration for nothing. Informational — the data is still
+// correct, just repeatedly re-sent.
+func runCommCost(c *Context) {
+	reported := map[zpl.Pos]bool{}
+	for _, p := range c.Prog.Procs {
+		c.commCostWalk(p.Body, reported)
+	}
+}
+
+// commCostWalk finds repeat loops at any nesting depth. Only repeat is
+// flagged: its trip count is data-dependent, so the repeated cost cannot
+// be a deliberate, statically sized choice the way a for loop's can.
+func (c *Context) commCostWalk(body []zpl.Stmt, reported map[zpl.Pos]bool) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *zpl.ScopeStmt:
+			c.commCostWalk([]zpl.Stmt{s.Body}, reported)
+		case *zpl.CompoundStmt:
+			c.commCostWalk(s.Body, reported)
+		case *zpl.IfStmt:
+			c.commCostWalk(s.Then, reported)
+			for _, arm := range s.Elifs {
+				c.commCostWalk(arm.Body, reported)
+			}
+			c.commCostWalk(s.Else, reported)
+		case *zpl.RepeatStmt:
+			c.commCostLoop(s.Body, reported)
+			c.commCostWalk(s.Body, reported)
+		case *zpl.WhileStmt:
+			c.commCostWalk(s.Body, reported)
+		case *zpl.ForStmt:
+			c.commCostWalk(s.Body, reported)
+		}
+	}
+}
+
+// commCostLoop checks one repeat body: every @-read of an array no
+// statement of the loop writes (transitively through calls) is flagged.
+func (c *Context) commCostLoop(body []zpl.Stmt, reported map[zpl.Pos]bool) {
+	written := map[string]bool{}
+	c.collectWrites(body, written, map[string]bool{})
+
+	walkAssigns(body, zpl.RegionRef{}, func(s *zpl.AssignStmt, _ zpl.RegionRef) {
+		walkExprs(s.RHS, func(e zpl.Expr) {
+			at, ok := e.(*zpl.AtExpr)
+			if !ok || written[at.Array] || reported[at.Pos] {
+				return
+			}
+			// Only communication-inducing shifts with a statically known
+			// offset qualify; a direction indexed by a loop variable is not
+			// loop-invariant.
+			off, ok := c.atOffset(at)
+			if !ok || allZero(off) {
+				return
+			}
+			reported[at.Pos] = true
+			c.List.Add("comm-cost", diag.Info, at.Pos,
+				"%s@%s re-communicates unchanged data every iteration of this repeat loop: %q is never written in the loop (hoistable)",
+				at.Array, dirLabel(at.Dir), at.Array)
+		})
+	})
+}
+
+// collectWrites gathers every array/scalar name the body assigns,
+// following procedure calls once each.
+func (c *Context) collectWrites(body []zpl.Stmt, written map[string]bool, visited map[string]bool) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *zpl.ScopeStmt:
+			c.collectWrites([]zpl.Stmt{s.Body}, written, visited)
+		case *zpl.CompoundStmt:
+			c.collectWrites(s.Body, written, visited)
+		case *zpl.AssignStmt:
+			written[s.LHS] = true
+		case *zpl.IfStmt:
+			c.collectWrites(s.Then, written, visited)
+			for _, arm := range s.Elifs {
+				c.collectWrites(arm.Body, written, visited)
+			}
+			c.collectWrites(s.Else, written, visited)
+		case *zpl.RepeatStmt:
+			c.collectWrites(s.Body, written, visited)
+		case *zpl.WhileStmt:
+			c.collectWrites(s.Body, written, visited)
+		case *zpl.ForStmt:
+			written[s.Var] = true
+			c.collectWrites(s.Body, written, visited)
+		case *zpl.CallStmt:
+			if visited[s.Name] {
+				continue
+			}
+			visited[s.Name] = true
+			for _, p := range c.Prog.Procs {
+				if p.Name == s.Name {
+					c.collectWrites(p.Body, written, visited)
+				}
+			}
+		}
+	}
+}
+
+// atOffset resolves an @-reference's constant offset vector.
+func (c *Context) atOffset(at *zpl.AtExpr) ([]int, bool) {
+	if at.Dir.Name != "" {
+		off := c.Info.DirOffsets[at.Dir.Name]
+		return off, off != nil
+	}
+	return evalOffsets(at.Dir.Comps, c.Info.Env)
+}
+
+func allZero(off []int) bool {
+	for _, o := range off {
+		if o != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,28 @@
+program commcost;
+
+config var n : integer = 8;
+
+region R   = [1..n, 1..n];
+region Int = [2..n-1, 2..n-1];
+
+direction east = [0, 1]; west = [0, -1];
+
+var A, B, C : [R] float;
+var err : float;
+
+procedure main();
+begin
+  [R] A := 0.0;
+  [R] B := 1.0;
+  [R] C := 2.0;
+  repeat
+    -- B is never written inside the loop: its east-shift re-sends the
+    -- same halo every iteration (flagged, hoistable).
+    [Int] A := B@east + C@west;
+    -- C and A are written in the loop, so their stencils carry fresh
+    -- data each iteration (not flagged).
+    [Int] C := A@west;
+    [R] err := max<< A;
+  until err > 0.5;
+  writeln(err);
+end;

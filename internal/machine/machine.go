@@ -12,6 +12,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"commopt/internal/vtime"
 )
@@ -180,6 +181,19 @@ func T3D() *Machine {
 		},
 	}
 }
+
+// LibNames returns the machine's library binding names, sorted.
+func (m *Machine) LibNames() []string {
+	names := make([]string, 0, len(m.Libs))
+	for n := range m.Libs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every simulated machine model, in a fixed order.
+func All() []*Machine { return []*Machine{Paragon(), T3D()} }
 
 // ByName returns a machine model by short name ("paragon" or "t3d").
 func ByName(name string) (*Machine, error) {

@@ -280,6 +280,12 @@ func pairChanCap(plan *comm.Plan) int {
 	return c
 }
 
+// PairChanCap exposes the per-directed-pair channel capacity the runtime
+// derives from a plan, so the static protocol checker (package cost) can
+// verify the in-flight bound it rests on against the actual capacity the
+// runtime would allocate.
+func PairChanCap(plan *comm.Plan) int { return pairChanCap(plan) }
+
 // Run executes the program under the given plan and configuration.
 func Run(prog *ir.Program, plan *comm.Plan, cfg Config) (*Result, error) {
 	if plan.Program != prog {
@@ -488,22 +494,6 @@ func (w *world) setup(cfg Config) error {
 		}
 	}
 	return nil
-}
-
-// ownerDim returns which of p blocks owns index i of the master span in
-// one dimension; indices outside the master span belong to the edge
-// blocks (regions slightly larger than the anchor region stay aligned).
-func ownerDim(master grid.Span, p, i int) int {
-	if i <= master.Lo {
-		if master.Len() == 0 {
-			return 0
-		}
-		i = master.Lo
-	}
-	if i > master.Hi {
-		i = master.Hi
-	}
-	return grid.OwnerOf(master.Len(), p, i-master.Lo+1)
 }
 
 // localSpan intersects a declared span with the indices owned by block b

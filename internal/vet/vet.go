@@ -6,12 +6,16 @@
 package vet
 
 import (
+	"errors"
 	"fmt"
 
 	"commopt/internal/comm"
+	"commopt/internal/cost"
 	"commopt/internal/diag"
 	"commopt/internal/ir"
 	"commopt/internal/lint"
+	"commopt/internal/machine"
+	"commopt/internal/rt"
 	"commopt/internal/zpl"
 )
 
@@ -81,4 +85,55 @@ func Source(name, src string) *diag.List {
 	}
 	list.Sort()
 	return list
+}
+
+// Protocol runs the IRONMAN protocol checker for one source file across
+// every optimization level, every simulated machine and every library
+// binding, at the given processor count. Structural violations are
+// machine-independent and reported once per level; the shape-dependent
+// checks (pairing symmetry, rendezvous cycles, in-flight bounds against
+// the runtime's channel capacity) run per binding. Programs whose
+// communication is not statically predictable keep their structural
+// findings; the shape half is skipped silently — it needs the walk.
+func Protocol(name, src string, procs int) (*diag.List, error) {
+	list := diag.NewList(name, src)
+
+	ast, err := zpl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, lv := range Levels() {
+		plan := comm.BuildPlan(prog, lv.Opts)
+		structural := cost.CheckPlan(plan)
+		for _, f := range structural {
+			f.Msg = fmt.Sprintf("[%s] %s", lv.Name, f.Msg)
+			list.Extend(f)
+		}
+		capacity := rt.PairChanCap(plan)
+		for _, m := range machine.All() {
+			for _, libName := range m.LibNames() {
+				cfg := cost.Config{Machine: m, Library: libName, Procs: procs}
+				fs, err := cost.Check(prog, plan, cfg, capacity)
+				if err != nil {
+					if errors.Is(err, cost.ErrNotStatic) {
+						continue
+					}
+					return nil, fmt.Errorf("[%s/%s/%s] %w", lv.Name, m.Name, libName, err)
+				}
+				// Structural findings were already reported above,
+				// machine-independently; keep only the shape-dependent rest.
+				for _, f := range fs[len(structural):] {
+					f.Msg = fmt.Sprintf("[%s/%s/%s] %s", lv.Name, m.Name, libName, f.Msg)
+					list.Extend(f)
+				}
+			}
+		}
+	}
+	list.Sort()
+	return list, nil
 }

@@ -29,6 +29,22 @@ func TestSourceCleanBenchmarks(t *testing.T) {
 	}
 }
 
+// TestProtocolCleanBenchmarks holds every bundled benchmark's plans to
+// zero protocol findings across all levels, machines and bindings.
+func TestProtocolCleanBenchmarks(t *testing.T) {
+	for _, b := range programs.Suite() {
+		list, err := Protocol(b.Name, b.Source, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !list.Empty() {
+			var buf strings.Builder
+			list.Text(&buf, false)
+			t.Errorf("%s: protocol findings on a bundled benchmark:\n%s", b.Name, buf.String())
+		}
+	}
+}
+
 // Parse errors stop the run: no lint or verifier noise cascades.
 func TestSourceParseErrorsOnly(t *testing.T) {
 	const src = `program p;

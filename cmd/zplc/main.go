@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"commopt/internal/collective"
 	"commopt/internal/comm"
 	"commopt/internal/cost"
 	"commopt/internal/ir"
@@ -57,6 +58,7 @@ type config struct {
 	procs   int
 	mach    string
 	lib     string
+	coll    string // allreduce algorithm for -predict
 	bench   string
 	inline  bool
 	hoist   bool
@@ -87,6 +89,7 @@ func parseArgs(args []string) (*config, error) {
 	fs.IntVar(&cfg.procs, "procs", 64, "processor count for -predict")
 	fs.StringVar(&cfg.mach, "machine", "t3d", "machine model for -predict: t3d or paragon")
 	fs.StringVar(&cfg.lib, "lib", "pvm", "library binding for -predict (e.g. pvm, shmem, csend)")
+	fs.StringVar(&cfg.coll, "collective", "auto", "allreduce algorithm for -predict: auto, star, tree, butterfly, twolevel")
 	fs.StringVar(&cfg.bench, "bench", "", "compile a bundled benchmark (tomcatv, swm, simple, sp) instead of a file")
 	fs.BoolVar(&cfg.inline, "inline", false, "inline procedure calls before communication analysis (Section 4 extension)")
 	fs.BoolVar(&cfg.hoist, "hoist", false, "hoist loop-invariant communication to loop preheaders (Section 4 extension)")
@@ -251,8 +254,12 @@ func renderPrediction(w io.Writer, prog *ir.Program, plan *comm.Plan, cfg *confi
 	default:
 		return fmt.Errorf("unknown machine %q (have t3d, paragon)", cfg.mach)
 	}
+	alg, err := collective.ParseAlg(cfg.coll)
+	if err != nil {
+		return err
+	}
 	pred, err := cost.Predict(prog, plan, cost.Config{
-		Machine: m, Library: cfg.lib, Procs: cfg.procs,
+		Machine: m, Library: cfg.lib, Procs: cfg.procs, Collective: alg,
 	})
 	if err != nil {
 		if errors.Is(err, cost.ErrNotStatic) {
@@ -265,8 +272,16 @@ func renderPrediction(w io.Writer, prog *ir.Program, plan *comm.Plan, cfg *confi
 		cfg.mach, cfg.lib, cfg.procs, pred.Mesh)
 	fmt.Fprintf(w, "  %d messages, %d bytes, %d dynamic transfers, %d reductions\n",
 		pred.Messages, pred.BytesSent, pred.DynamicTransfers, pred.Reductions)
-	fmt.Fprintf(w, "  critical-path comm overhead %v (reductions contribute %v per proc)\n\n",
+	fmt.Fprintf(w, "  critical-path comm overhead %v (reductions contribute up to %v per proc)\n",
 		pred.CommTime(), pred.ReductionComm)
+	if pred.Reductions > 0 && pred.Collective != collective.Auto {
+		how := "selected by cost over star, tree, butterfly, twolevel"
+		if alg != collective.Auto {
+			how = "forced by -collective"
+		}
+		fmt.Fprintf(w, "  reductions run the %s algorithm (%s)\n", pred.Collective, how)
+	}
+	fmt.Fprintln(w)
 	t := &report.Table{
 		Title:   "per-transfer forecast",
 		Headers: []string{"site", "transfer", "hoisted", "executions", "messages", "bytes", "comm (all procs)"},

@@ -8,6 +8,7 @@
 //
 //	zplrun [-machine t3d|paragon] [-lib pvm|shmem|csend|isend|hsend]
 //	       [-procs N] [-O level] [-set name=value]...
+//	       [-collective auto|star|tree|butterfly|twolevel]
 //	       [-sched-workers N] [-legacy-sched]
 //	       [-trace out.json] [-profile] [-metrics] [-metrics-json out.json]
 //	       file.zpl
@@ -23,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"commopt/internal/collective"
 	"commopt/internal/comm"
 	"commopt/internal/grid"
 	"commopt/internal/ir"
@@ -58,6 +60,7 @@ type options struct {
 	procs       int
 	level       string
 	bench       string
+	coll        string // allreduce algorithm (auto = cost-model selection)
 	cfg         configFlags
 	tracePath   string // write Chrome trace-event JSON here ("" = off)
 	profile     bool   // print the per-callsite communication profile
@@ -75,6 +78,7 @@ func main() {
 	flag.StringVar(&o.lib, "lib", "pvm", "communication library binding")
 	flag.IntVar(&o.procs, "procs", 64, fmt.Sprintf("virtual processor count (1..%d)", grid.MaxProcs))
 	flag.StringVar(&o.level, "O", "pl", "optimization level: baseline, rr, cc, pl, pl-maxlat")
+	flag.StringVar(&o.coll, "collective", "auto", "allreduce algorithm: auto, star, tree, butterfly, twolevel (auto = cheapest eligible under the cost model)")
 	flag.StringVar(&o.bench, "bench", "", "run a bundled benchmark instead of a file")
 	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON timeline (virtual time) to `file`")
 	flag.BoolVar(&o.profile, "profile", false, "print the per-callsite communication profile")
@@ -144,11 +148,19 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
+	if o.coll == "" {
+		o.coll = "auto" // zero options value (tests construct options directly)
+	}
+	alg, err := collective.ParseAlg(o.coll)
+	if err != nil {
+		return err
+	}
 	plan := comm.BuildPlan(prog, opts)
 	cfg := rt.Config{
 		Machine:         mach,
 		Library:         o.lib,
 		Procs:           o.procs,
+		Collective:      alg,
 		ConfigVars:      o.cfg,
 		Profile:         o.profile,
 		Metrics:         o.metrics || o.metricsJSON != "",
@@ -173,8 +185,12 @@ func run(w io.Writer, o options) error {
 	fmt.Fprintf(w, "-- %s on %d-node %s (%s), optimization %s\n", prog.Name, o.procs, mach.Name, o.lib, opts)
 	fmt.Fprintf(w, "-- execution time   %.6f s (simulated)\n", res.ExecTime.Seconds())
 	fmt.Fprintf(w, "-- communications   %d static, %d dynamic (per processor)\n", plan.StaticCount, res.DynamicTransfers)
-	fmt.Fprintf(w, "-- messages         %d point-to-point, %.1f KB total, %d reductions\n",
+	fmt.Fprintf(w, "-- messages         %d (transfers + reduction hops), %.1f KB total, %d reductions",
 		res.Messages, float64(res.BytesSent)/1024, res.Reductions)
+	if res.Reductions > 0 && res.Collective != collective.Auto {
+		fmt.Fprintf(w, " via %s", res.Collective)
+	}
+	fmt.Fprintln(w)
 	bd := res.Breakdown
 	fmt.Fprintf(w, "-- critical path    compute %.1f%%, comm overhead %.1f%%, waiting %.1f%%\n",
 		100*float64(bd.Compute)/float64(bd.Total()),

@@ -252,6 +252,12 @@ type Plan struct {
 	// preheader maps a loop statement to the transfers hoisted before it.
 	preheader   map[ir.Stmt][]*Transfer
 	StaticCount int
+
+	// Collectives lists the program's global reduction sites in
+	// deterministic source order (see collective.go); collByNode indexes
+	// them by reduce node for the runtime and the cost predictor.
+	Collectives []*Collective
+	collByNode  map[*ir.Reduce]*Collective
 }
 
 // BlockFor returns the plan for the basic block whose first statement is

@@ -242,6 +242,7 @@ func (pl *Pipeline) Build(prog *ir.Program) (*Plan, error) {
 	for i, pass := range pl.passes {
 		trace[i].Pass = pass.Name()
 	}
+	p.collectCollectives()
 	for _, proc := range prog.Procs {
 		if err := pl.body(p, proc.Body, nil, trace); err != nil {
 			return nil, err

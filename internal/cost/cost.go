@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 
+	"commopt/internal/collective"
 	"commopt/internal/machine"
 )
 
@@ -43,6 +44,13 @@ type Config struct {
 	Machine *machine.Machine
 	Library string // key into Machine.Libs, e.g. "pvm", "shmem", "csend"
 	Procs   int    // number of virtual processors
+
+	// Collective selects the allreduce algorithm, mirroring
+	// rt.Config.Collective: Auto resolves to the cheapest eligible
+	// algorithm through collective.Resolve, the same call the runtime
+	// makes, so a prediction always prices the hop pattern the run
+	// executes.
+	Collective collective.Alg
 
 	// ConfigVars overrides the program's config variable defaults by name.
 	ConfigVars map[string]float64

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"commopt/internal/collective"
 	"commopt/internal/comm"
 	"commopt/internal/grid"
 	"commopt/internal/ir"
@@ -16,28 +17,43 @@ import (
 
 // Prediction is the closed-form communication forecast of one
 // (program, plan, configuration) triple. For statically predictable
-// programs Messages, BytesSent, DynamicTransfers, Reductions and
-// PerProcComm equal the runtime's measured values exactly; blocking
-// waits are jitter- and schedule-dependent and deliberately not modeled
-// (see DESIGN.md §15 for the tolerance statement).
+// programs Messages, BytesSent, DynamicTransfers, Reductions,
+// PerProcComm and PerProcMsgs equal the runtime's measured values
+// exactly; blocking waits are jitter- and schedule-dependent and
+// deliberately not modeled (see DESIGN.md §15 for the tolerance
+// statement).
 type Prediction struct {
 	Mesh grid.Mesh
 
-	Messages         int   // point-to-point messages, all processors
+	Messages         int   // messages, all processors (transfers + collective hops)
 	BytesSent        int64 // payload bytes, all processors
 	DynamicTransfers int   // transfer call sites executed per processor
 	Reductions       int   // global reductions per processor
 
-	// PerProcComm is each processor's communication software overhead
-	// (the paper's "exposed" cost), by rank. It includes ReductionComm.
-	PerProcComm []vtime.Duration
+	// Collective is the allreduce algorithm the prediction priced — the
+	// resolution of Config.Collective through collective.Resolve, which is
+	// exactly what the runtime executes. Auto when the program performs no
+	// reductions or runs on one processor.
+	Collective collective.Alg
 
-	// ReductionComm is the share of every processor's overhead charged by
-	// global reductions (identical on all ranks).
+	// PerProcComm is each processor's communication software overhead
+	// (the paper's "exposed" cost), by rank, reduction hops included.
+	// PerProcMsgs is each processor's sent-message count (transfer
+	// messages plus collective hops), matching rt's Result.PerProcMsgs.
+	PerProcComm []vtime.Duration
+	PerProcMsgs []int
+
+	// ReductionComm is the critical-path share of the overhead charged by
+	// global reductions: for each reduction, the largest per-rank hop
+	// overhead of the selected algorithm's schedule. Under non-star
+	// algorithms ranks play different roles, so per-rank reduction charges
+	// vary; this reports the worst rank's total.
 	ReductionComm vtime.Duration
 
-	// Sites breaks the totals down per plan transfer, sorted by source
-	// position: the per-statement half of the cost model.
+	// Sites breaks the totals down per plan transfer and per collective
+	// (reduction) site, sorted by source position: the per-statement half
+	// of the cost model. Site messages and bytes sum exactly to Messages
+	// and BytesSent.
 	Sites []SiteCost
 }
 
@@ -105,16 +121,23 @@ type walker struct {
 	open    map[*comm.Transfer]*shape
 	segs    map[*ir.Stmt][]comm.Segment
 
-	msgs  int
-	bytes int64
-	dyn   int
-	reds  int
-	comm  []vtime.Duration
-	sites map[*comm.Transfer]*siteAcc
+	msgs     int
+	bytes    int64
+	dyn      int
+	reds     int
+	comm     []vtime.Duration
+	procMsgs []int
+	sites    map[*comm.Transfer]*siteAcc
+	csites   map[*comm.Collective]*siteAcc
 
-	redLevels int
-	redHop    vtime.Duration
-	redComm   vtime.Duration
+	// Collective pricing, resolved once per walk: the algorithm, its
+	// per-rank charges for one reduction (nil when the program has no
+	// reductions or runs on one processor, where the runtime charges
+	// nothing), and the worst rank's share (redCrit).
+	collAlg collective.Alg
+	redProf []collective.RankCost
+	redCrit vtime.Duration
+	redComm vtime.Duration
 }
 
 // analyze builds the layout and walks the whole program, accumulating
@@ -134,38 +157,41 @@ func analyze(prog *ir.Program, plan *comm.Plan, cfg Config) (*walker, error) {
 	}
 	w := &walker{
 		prog: prog, plan: plan, lay: lay, lib: lib,
-		scalars: make([]value, len(prog.Scalars)),
-		shapes:  map[shapeKey]*shape{},
-		open:    map[*comm.Transfer]*shape{},
-		segs:    map[*ir.Stmt][]comm.Segment{},
-		comm:    make([]vtime.Duration, lay.mesh.Size()),
-		sites:   map[*comm.Transfer]*siteAcc{},
+		scalars:  make([]value, len(prog.Scalars)),
+		shapes:   map[shapeKey]*shape{},
+		open:     map[*comm.Transfer]*shape{},
+		segs:     map[*ir.Stmt][]comm.Segment{},
+		comm:     make([]vtime.Duration, lay.mesh.Size()),
+		procMsgs: make([]int, lay.mesh.Size()),
+		sites:    map[*comm.Transfer]*siteAcc{},
+		csites:   map[*comm.Collective]*siteAcc{},
 	}
 	// Every scalar slot starts at its config/constant value — zero for
 	// plain variables, exactly as the runtime seeds p.scalars.
 	for i, v := range lay.configVals {
 		w.scalars[i] = known(v)
 	}
-	w.redLevels = bits(lay.mesh.Size())
-	w.redHop = lib.DRCost + lib.SRCost + lib.DNCost + 2*lib.Latency
+	// Resolve the collective algorithm exactly as rt's setup does: only
+	// when the plan carries reduction sites and the mesh is bigger than a
+	// lone processor (which pays nothing) — so a forced-but-ineligible
+	// algorithm errors in the same cases the runtime would.
+	if len(plan.Collectives) > 0 && lay.mesh.Size() > 1 {
+		alg, err := collective.Resolve(cfg.Collective, lib, lay.mesh)
+		if err != nil {
+			return nil, err
+		}
+		w.collAlg = alg
+		w.redProf = collective.Profile(alg, lib, lay.mesh)
+		for _, rc := range w.redProf {
+			if rc.Comm > w.redCrit {
+				w.redCrit = rc.Comm
+			}
+		}
+	}
 	if err := w.body(prog.Main.Body); err != nil {
 		return nil, err
 	}
 	return w, nil
-}
-
-// bits mirrors the runtime's reduction tree depth: the number of bits
-// needed to represent p-1, and at least one (a lone processor still pays
-// one synchronization hop).
-func bits(p int) int {
-	n := 0
-	for v := p - 1; v > 0; v >>= 1 {
-		n++
-	}
-	if n == 0 {
-		n = 1
-	}
-	return n
 }
 
 func (w *walker) prediction() *Prediction {
@@ -175,7 +201,9 @@ func (w *walker) prediction() *Prediction {
 		BytesSent:        w.bytes,
 		DynamicTransfers: w.dyn,
 		Reductions:       w.reds,
+		Collective:       w.collAlg,
 		PerProcComm:      w.comm,
+		PerProcMsgs:      w.procMsgs,
 		ReductionComm:    w.redComm,
 	}
 	for t, acc := range w.sites {
@@ -185,6 +213,12 @@ func (w *walker) prediction() *Prediction {
 		}
 		pred.Sites = append(pred.Sites, SiteCost{
 			Pos: pos, Label: transferLabel(t), Hoisted: t.Hoisted,
+			Executions: acc.execs, Messages: acc.msgs, Bytes: acc.bytes, Comm: acc.comm,
+		})
+	}
+	for c, acc := range w.csites {
+		pred.Sites = append(pred.Sites, SiteCost{
+			Pos: c.Pos, Label: c.Op.String() + " (" + w.collAlg.String() + ")",
 			Executions: acc.execs, Messages: acc.msgs, Bytes: acc.bytes, Comm: acc.comm,
 		})
 	}
@@ -297,6 +331,9 @@ func (w *walker) call(c comm.Call) error {
 		w.bytes += sh.bytes
 		acc.msgs += int64(sh.msgs)
 		acc.bytes += sh.bytes
+		for r, m := range sh.rankMsgs {
+			w.procMsgs[r] += m
+		}
 	case comm.SV:
 		delete(w.open, c.T)
 	}
@@ -324,17 +361,33 @@ func (w *walker) stmt(s ir.Stmt) error {
 }
 
 // countReduces charges every Reduce node of a scalar RHS, mirroring the
-// runtime's evalWithReduce recursion: each reduction costs every
-// processor one logarithmic tree of transfer handshakes.
+// runtime's evalWithReduce recursion: each reduction charges each rank
+// the hop overhead of its role in the selected algorithm's schedule
+// (collective.Profile), and its hops count as messages and bytes — the
+// identical per-hop accounting p.allreduce performs.
 func (w *walker) countReduces(e ir.Expr) {
 	switch e := e.(type) {
 	case *ir.Reduce:
 		w.reds++
-		d := vtime.Duration(w.redLevels) * w.redHop
-		w.redComm += d
-		for r := range w.comm {
-			w.comm[r] += d
+		if w.redProf == nil {
+			return // no peers: the runtime's P==1 early return charges nothing
 		}
+		acc := w.csites[w.plan.CollectiveFor(e)]
+		if acc == nil {
+			acc = &siteAcc{}
+			w.csites[w.plan.CollectiveFor(e)] = acc
+		}
+		acc.execs++
+		for r, rc := range w.redProf {
+			w.comm[r] += rc.Comm
+			w.procMsgs[r] += rc.Msgs
+			w.msgs += rc.Msgs
+			w.bytes += rc.Bytes
+			acc.msgs += int64(rc.Msgs)
+			acc.bytes += rc.Bytes
+			acc.comm += rc.Comm
+		}
+		w.redComm += w.redCrit
 	case *ir.Unary:
 		w.countReduces(e.X)
 	case *ir.Binary:

@@ -34,8 +34,9 @@ type shape struct {
 
 	dr, sr, dn, sv []vtime.Duration // per-rank overhead of one call execution
 
-	msgs  int   // messages injected per SR execution, summed over ranks
-	bytes int64 // payload bytes per SR execution, summed over ranks
+	msgs     int   // messages injected per SR execution, summed over ranks
+	bytes    int64 // payload bytes per SR execution, summed over ranks
+	rankMsgs []int // messages injected per SR execution, by sending rank
 }
 
 type shapeKey struct {
@@ -82,6 +83,8 @@ func buildShape(lay *layout, lib *machine.Lib, t *comm.Transfer, reg grid.Region
 		sr:    make([]vtime.Duration, n),
 		dn:    make([]vtime.Duration, n),
 		sv:    make([]vtime.Duration, n),
+
+		rankMsgs: make([]int, n),
 	}
 	for rank := 0; rank < n; rank++ {
 		row, col := lay.mesh.Coord(rank)
@@ -141,6 +144,7 @@ func buildShape(lay *layout, lib *machine.Lib, t *comm.Transfer, reg grid.Region
 				sh.sr[rank] += lib.SRCost + machine.PerByteDur(lib.SRPerByte, pr.bytes)
 				sh.msgs++
 				sh.bytes += int64(pr.bytes)
+				sh.rankMsgs[rank]++
 			} else {
 				sh.sr[rank] += lib.SynchEmptyCost
 			}

@@ -88,6 +88,9 @@ func TestPredictMatchesRuntime(t *testing.T) {
 							if pred.PerProcComm[r] != res.PerProc[r].Comm {
 								t.Errorf("proc %d comm: predicted %v, measured %v", r, pred.PerProcComm[r], res.PerProc[r].Comm)
 							}
+							if pred.PerProcMsgs[r] != res.PerProcMsgs[r] {
+								t.Errorf("proc %d messages: predicted %d, measured %d", r, pred.PerProcMsgs[r], res.PerProcMsgs[r])
+							}
 						}
 						var msgSum, byteSum int64
 						for _, s := range pred.Sites {

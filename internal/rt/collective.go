@@ -1,0 +1,252 @@
+package rt
+
+import (
+	"fmt"
+
+	"commopt/internal/collective"
+	"commopt/internal/ir"
+	"commopt/internal/trace"
+	"commopt/internal/vtime"
+)
+
+// This file is the runtime's collective engine: global reductions execute
+// the per-rank hop schedule of the algorithm resolved at setup
+// (world.collAlg, package collective) as real messages through the same
+// mailbox scheduler that carries point-to-point traffic. Every hop
+// charges the collective cost model (SendCost/RecvCost/WireDelay), counts
+// toward Result.Messages/BytesSent and emits its own trace span, so the
+// virtual-time cost, the message totals, the per-callsite profile and the
+// Perfetto timeline all reflect the algorithm that actually ran — and
+// cost.Predict, which prices the identical schedule, matches exactly.
+//
+// All algorithms gather raw contribution vectors and fold in strict rank
+// order (at the first broadcast send, or locally once a rank's window
+// covers everyone), so floating-point results are bit-identical across
+// algorithms — the property the collective differential test asserts.
+
+// collMsg is one collective hop's payload. Scalar hops (broadcasts,
+// leaf contributions) carry val; wider gather hops carry a copy of the
+// sender's contiguous window in vals, starting at rank index start. t is
+// the virtual time the message reaches the receiver.
+type collMsg struct {
+	seq   int
+	src   int
+	start int
+	val   float64
+	vals  []float64
+	t     vtime.Time
+}
+
+// collKey builds the mailbox key of one hop's message. Matching is by
+// (sequence, source): each reduction sends a rank at most one gather and
+// one broadcast message from any given source *after the previous one
+// from that source was consumed*, and sequences retire in order, so the
+// pair is unique among undelivered messages. Source ranks fit 17 bits
+// (grid.MaxProcs is 2^16).
+func collKey(seq, src int) uint64 { return uint64(seq)<<17 | uint64(src) }
+
+// allreduce combines one value across all processors using the world's
+// resolved collective algorithm, deterministically folding in rank
+// order.
+func (p *proc) allreduce(node *ir.Reduce, val float64) float64 {
+	w := p.w
+	op := node.Op
+	seq := p.redSeq
+	p.redSeq++
+	p.reductions++
+	n := w.mesh.Size()
+	if n == 1 {
+		return val
+	}
+
+	redStart := p.clock
+	msgs0, bytes0 := p.messages, p.bytesSent
+	comm0, wait0 := p.commT, p.waitT
+
+	if len(p.redVals) < n {
+		p.redVals = make([]float64, n)
+	}
+	vals := p.redVals[:n]
+	vals[p.rank] = val
+	base, cnt := p.rank, 1
+	var result float64
+	haveResult := false
+	fold := func() float64 {
+		if base != 0 || cnt != n {
+			panic(fmt.Sprintf("rt: proc %d folds reduction %d with incomplete window [%d,+%d) of %d",
+				p.rank, seq, base, cnt, n))
+		}
+		acc := op.Identity()
+		for _, v := range vals {
+			acc = op.Combine(acc, v)
+		}
+		return acc
+	}
+
+	for _, st := range w.collSteps[p.rank] {
+		bytes := collective.ValBytes * st.Count
+		if st.Kind == collective.Send {
+			m := collMsg{seq: seq, src: p.rank}
+			if st.Bcast {
+				if !haveResult {
+					result, haveResult = fold(), true
+				}
+				m.val = result
+			} else {
+				if st.Count != cnt {
+					panic(fmt.Sprintf("rt: proc %d sends %d reduction values but window holds %d", p.rank, st.Count, cnt))
+				}
+				m.start = base
+				if cnt == 1 {
+					m.val = vals[base]
+				} else {
+					m.vals = append([]float64(nil), vals[base:base+cnt]...)
+				}
+			}
+			start := p.clock
+			p.chargeComm(collective.SendCost(w.lib, st.Count))
+			m.t = p.clock.Add(collective.WireDelay(w.lib, st.Count))
+			p.messages++
+			p.bytesSent += int64(bytes)
+			if p.met != nil {
+				p.met.msgSize.Observe(int64(bytes))
+			}
+			if p.tr != nil {
+				p.tr.Add(trace.Event{Kind: trace.KindReduce, Start: start, Dur: p.clock.Sub(start),
+					Name: collStepName(st), A0: int64(st.Level), A1: int64(bytes)})
+			}
+			p.sendColl(st.Peer, m)
+		} else {
+			start := p.clock
+			m := p.recvColl(seq, st.Peer)
+			p.waitFor(m.t, "wait reduce")
+			p.chargeComm(collective.RecvCost(w.lib, st.Count))
+			if st.Bcast {
+				result, haveResult = m.val, true
+			} else {
+				if m.vals == nil {
+					vals[m.start] = m.val
+				} else {
+					copy(vals[m.start:m.start+len(m.vals)], m.vals)
+				}
+				switch {
+				case m.start == base+cnt:
+					cnt += st.Count
+				case m.start+st.Count == base:
+					base, cnt = m.start, cnt+st.Count
+				default:
+					panic(fmt.Sprintf("rt: proc %d non-contiguous reduction gather: window [%d,+%d), got start %d",
+						p.rank, base, cnt, m.start))
+				}
+			}
+			if p.tr != nil {
+				p.tr.Add(trace.Event{Kind: trace.KindReduce, Start: start, Dur: p.clock.Sub(start),
+					Name: collStepName(st), A0: int64(st.Level), A1: int64(bytes)})
+			}
+		}
+	}
+	if !haveResult {
+		// Butterfly: no broadcast phase — every rank holds the full
+		// vector and folds locally, in the same rank order.
+		result = fold()
+	}
+
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindReduce, Start: redStart, Dur: p.clock.Sub(redStart),
+			Name: "allreduce " + op.String() + " (" + w.collAlg.String() + ")", A0: -1})
+	}
+	if p.cprof != nil {
+		if c := w.plan.CollectiveFor(node); c != nil {
+			a := p.cprof[c]
+			if a == nil {
+				a = &profAcc{}
+				p.cprof[c] = a
+			}
+			a.calls++
+			a.msgs += p.messages - msgs0
+			a.bytes += p.bytesSent - bytes0
+			a.comm += p.commT - comm0
+			a.wait += p.waitT - wait0
+		}
+	}
+	return result
+}
+
+// collStepName labels one hop's trace span: direction, round and peer.
+func collStepName(st collective.Step) string {
+	verb := "send"
+	prep := "to"
+	if st.Kind == collective.Recv {
+		verb = "recv"
+		prep = "from"
+	}
+	if st.Bcast {
+		verb = "bcast " + verb
+	}
+	return fmt.Sprintf("red %s L%d %s %d", verb, st.Level, prep, st.Peer)
+}
+
+// sendColl delivers one hop's message. Scheduler mode: keyed mailbox
+// insert (O(1) even for the star root's P-1 pending contributions).
+// Goroutine-oracle mode: the destination's buffered collective channel.
+func (p *proc) sendColl(dst int, m collMsg) {
+	q := p.w.procs[dst]
+	if p.w.mn {
+		p.deliverColl(q, collKey(m.seq, m.src), m)
+		return
+	}
+	select {
+	case q.collq <- m:
+	case <-p.w.abort:
+		panic(errAborted)
+	}
+}
+
+// recvColl returns the hop message (seq, src), blocking until it
+// arrives. Receives follow the rank's deterministic schedule order, not
+// arrival order — the virtual clock's wait/charge sequence must not
+// depend on scheduling — so out-of-order arrivals wait in the keyed
+// mailbox (scheduler mode) or the stash (goroutine mode).
+func (p *proc) recvColl(seq, src int) collMsg {
+	key := collKey(seq, src)
+	if p.w.mn {
+		return p.nextColl(key)
+	}
+	if m, ok := p.collStash[key]; ok {
+		delete(p.collStash, key)
+		return m
+	}
+	for {
+		select {
+		case m := <-p.collq:
+			k := collKey(m.seq, m.src)
+			if k == key {
+				return m
+			}
+			if p.collStash == nil {
+				p.collStash = map[uint64]collMsg{}
+			}
+			if _, dup := p.collStash[k]; dup {
+				panic(fmt.Sprintf("rt: proc %d: duplicate reduction message seq %d from proc %d", p.rank, m.seq, m.src))
+			}
+			p.collStash[k] = m
+		case <-p.w.abort:
+			panic(errAborted)
+		}
+	}
+}
+
+// collIndeg counts rank's receive hops — the sizing basis for the
+// goroutine oracle's collective channel. In-flight messages to one rank
+// never exceed one reduction's receives plus the handful the next
+// reduction's earliest senders can have in flight, so two reductions'
+// worth plus slack keeps channel sends from ever blocking long.
+func collIndeg(steps []collective.Step) int {
+	n := 0
+	for _, st := range steps {
+		if st.Kind == collective.Recv {
+			n++
+		}
+	}
+	return n
+}

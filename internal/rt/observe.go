@@ -90,7 +90,22 @@ func (w *world) gatherProfile() []CallsiteProfile {
 			g.wait += a.wait
 		}
 	}
-	rows := make([]CallsiteProfile, 0, len(agg))
+	cagg := map[*comm.Collective]*profAcc{}
+	for _, p := range w.procs {
+		for c, a := range p.cprof {
+			g := cagg[c]
+			if g == nil {
+				g = &profAcc{}
+				cagg[c] = g
+			}
+			g.calls += a.calls
+			g.msgs += a.msgs
+			g.bytes += a.bytes
+			g.comm += a.comm
+			g.wait += a.wait
+		}
+	}
+	rows := make([]CallsiteProfile, 0, len(agg)+len(cagg))
 	for t, a := range agg {
 		row := CallsiteProfile{
 			Label:   transferLabel(t),
@@ -105,6 +120,19 @@ func (w *world) gatherProfile() []CallsiteProfile {
 			}
 		}
 		rows = append(rows, row)
+	}
+	// Collective rows: one per reduction site, labeled with the operator
+	// and the algorithm that executed it. Calls counts executions on rank
+	// 0 only (one per global reduction, matching Result.Reductions);
+	// messages/bytes/comm/wait sum over every rank's hops, so profile
+	// rows keep summing exactly to Result.Messages/BytesSent.
+	for c, a := range cagg {
+		rows = append(rows, CallsiteProfile{
+			Pos:   c.Pos,
+			Label: c.Op.String() + " (" + w.collAlg.String() + ")",
+			Calls: a.calls / len(w.procs), Messages: a.msgs, Bytes: a.bytes,
+			Comm: a.comm, Wait: a.wait,
+		})
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		a, b := rows[i], rows[j]

@@ -54,7 +54,13 @@ type proc struct {
 	scheds   map[schedKey]*commSched
 	sendPool [][]*dataMsg // sendPool[slot]: recycled messages for sends to that neighbor
 	retPool  [][]*dataMsg // retPool[slot]: unpacked messages awaiting return to that neighbor
-	redVals  []float64    // rank 0's reduction gather scratch, reused across reductions
+	redVals  []float64    // reduction gather window scratch, reused across reductions
+
+	// Collective transport of the goroutine oracle (collective.go): a
+	// buffered channel of hop messages plus a stash for out-of-order
+	// arrivals. The scheduler uses the keyed mailbox (mbox.coll) instead.
+	collq     chan collMsg
+	collStash map[uint64]collMsg
 
 	// Kernel-compiled execution engine (kernel.go): compiled statement
 	// kernels, reduction-partial kernels, the scratch arena that replaces
@@ -82,10 +88,11 @@ type proc struct {
 
 	// Observability (all nil/zero when disabled, so every recording point
 	// is a single nil check on the fast path; see observe.go).
-	tr         *trace.Buffer               // virtual-time event ring
-	prof       map[*comm.Transfer]*profAcc // per-callsite communication profile
-	met        *procMetrics                // metric instruments
-	engine     int64                       // trace engine code of the last array statement
+	tr         *trace.Buffer                 // virtual-time event ring
+	prof       map[*comm.Transfer]*profAcc   // per-callsite communication profile
+	cprof      map[*comm.Collective]*profAcc // per-callsite collective profile
+	met        *procMetrics                  // metric instruments
+	engine     int64                         // trace engine code of the last array statement
 	stmtLabels map[ir.Stmt]string
 	callLabels map[*comm.Transfer][4]string
 }
@@ -174,6 +181,12 @@ func newProc(w *world, rank int) *proc {
 		for s := range p.neighbors {
 			p.in[s] = make(chan *dataMsg, w.chanCap)
 			p.readyFrom[s] = make(chan readyTok, w.chanCap)
+		}
+		if w.collSteps != nil {
+			// Capacity mirrors the pairChanCap argument: at most two
+			// reductions' worth of messages can be in flight toward one
+			// rank, so 2·indegree+2 slots keep sends from blocking.
+			p.collq = make(chan collMsg, 2*collIndeg(w.collSteps[rank])+2)
 		}
 	}
 	return p
@@ -275,6 +288,7 @@ func (p *proc) finish() {
 	w.statsMu.Unlock()
 	p.kernels, p.rkernels, p.scheds, p.fnCache = nil, nil, nil, nil
 	p.sendPool, p.retPool, p.pending, p.redVals = nil, nil, nil, nil
+	p.collStash = nil
 	p.arena = arena{}
 }
 
@@ -493,7 +507,7 @@ func (p *proc) evalWithReduce(e ir.Expr, local grid.Region) float64 {
 			acc = e.Op.Identity()
 			field.ForEach(local, func(i, j, k int) { acc = e.Op.Combine(acc, fn(i, j, k)) })
 		}
-		return p.allreduce(e.Op, acc)
+		return p.allreduce(e, acc)
 	case *ir.Unary:
 		return evalUnary(e.Op, p.evalWithReduce(e.X, local))
 	case *ir.Binary:
@@ -513,122 +527,6 @@ func (p *proc) evalWithReduce(e ir.Expr, local grid.Region) float64 {
 		return v
 	default:
 		return p.evalScalar(e)
-	}
-}
-
-// allreduce combines one value across all processors, deterministically
-// folding in rank order, and charges a logarithmic tree cost.
-func (p *proc) allreduce(op ir.ReduceOp, val float64) float64 {
-	w := p.w
-	seq := p.redSeq
-	p.redSeq++
-	p.reductions++
-	redStart := p.clock
-	p.sendRed(redMsg{seq: seq, rank: p.rank, val: val, t: p.clock})
-
-	if p.rank == 0 {
-		n := w.mesh.Size()
-		if len(p.redVals) < n {
-			p.redVals = make([]float64, n)
-		}
-		vals := p.redVals[:n]
-		var tmax vtime.Time
-		for i := 0; i < n; i++ {
-			m := p.recvRed()
-			if m.seq != seq {
-				panic(fmt.Sprintf("rt: reduction sequence mismatch: got %d want %d", m.seq, seq))
-			}
-			vals[m.rank] = m.val
-			if m.t > tmax {
-				tmax = m.t
-			}
-		}
-		acc := op.Identity()
-		for _, v := range vals {
-			acc = op.Combine(acc, v)
-		}
-		for rank := 0; rank < n; rank++ {
-			p.sendBcast(rank, redMsg{seq: seq, val: acc, t: tmax})
-		}
-	}
-
-	m := p.recvBcast()
-	if m.seq != seq {
-		panic(fmt.Sprintf("rt: reduction broadcast mismatch: got %d want %d", m.seq, seq))
-	}
-	levels := bits(w.mesh.Size())
-	// One tree level costs a full transfer handshake; for rendezvous
-	// libraries that includes the destination-ready synchronization.
-	hop := w.lib.DRCost + w.lib.SRCost + w.lib.DNCost + 2*w.lib.Latency
-	p.waitFor(m.t, "wait reduce")
-	p.chargeComm(vtime.Duration(levels) * hop)
-	if p.tr != nil {
-		p.tr.Add(trace.Event{Kind: trace.KindReduce, Start: redStart, Dur: p.clock.Sub(redStart), Name: "allreduce " + op.String()})
-	}
-	return m.val
-}
-
-func bits(p int) int {
-	n := 0
-	for v := p - 1; v > 0; v >>= 1 {
-		n++
-	}
-	if n == 0 {
-		n = 1 // a lone processor still pays one synchronization hop
-	}
-	return n
-}
-
-// sendRed delivers a reduction contribution to the collector (rank 0).
-// In scheduler mode both contributions and broadcasts share rank 0's
-// reduction inbox; FIFO order keeps them straight — rank 0 appends its
-// own broadcast before any other processor can observe that broadcast
-// and race ahead to the next reduction's contribution.
-func (p *proc) sendRed(m redMsg) {
-	if p.w.mn {
-		p.deliverRed(p.w.procs[0], m)
-		return
-	}
-	select {
-	case p.w.collect <- m:
-	case <-p.w.abort:
-		panic(errAborted)
-	}
-}
-
-func (p *proc) recvRed() redMsg {
-	if p.w.mn {
-		return p.nextRed()
-	}
-	select {
-	case m := <-p.w.collect:
-		return m
-	case <-p.w.abort:
-		panic(errAborted)
-	}
-}
-
-func (p *proc) sendBcast(rank int, m redMsg) {
-	if p.w.mn {
-		p.deliverRed(p.w.procs[rank], m)
-		return
-	}
-	select {
-	case p.w.bcast[rank] <- m:
-	case <-p.w.abort:
-		panic(errAborted)
-	}
-}
-
-func (p *proc) recvBcast() redMsg {
-	if p.w.mn {
-		return p.nextRed()
-	}
-	select {
-	case m := <-p.w.bcast[p.rank]:
-		return m
-	case <-p.w.abort:
-		panic(errAborted)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"commopt/internal/collective"
 	"commopt/internal/comm"
 	"commopt/internal/field"
 	"commopt/internal/grid"
@@ -58,6 +59,16 @@ type Config struct {
 	// ForceInterpreter and ForceLegacyComm.
 	ForceGoroutinePerProc bool
 
+	// Collective selects the allreduce algorithm (package collective).
+	// The default, collective.Auto, picks the cheapest eligible algorithm
+	// for the (machine, library, mesh) binding by simulated critical-path
+	// cost — the same resolution cost.Predict performs, so a run and its
+	// prediction always execute the same hop pattern. Forcing an
+	// algorithm that is ineligible on the run's mesh (butterfly off
+	// powers of two, twolevel on 1-D meshes) is an error when the program
+	// contains reductions and more than one processor.
+	Collective collective.Alg
+
 	// SchedWorkers bounds the M:N scheduler's worker pool for this run
 	// (0 = GOMAXPROCS). Independent of the pool size, every worker step
 	// also passes through a process-wide admission budget of GOMAXPROCS
@@ -90,11 +101,19 @@ type Result struct {
 
 	// DynamicTransfers counts transfer call sites executed on processor 0
 	// (the paper's dynamic communication count). Messages and BytesSent
-	// count actual point-to-point messages across all processors.
+	// count every actual message across all processors — point-to-point
+	// transfers and collective hops alike; PerProcMsgs splits Messages by
+	// sending rank (PerProcMsgs[r] is rank r's sends).
 	DynamicTransfers int
 	Messages         int
 	BytesSent        int64
 	Reductions       int
+	PerProcMsgs      []int
+
+	// Collective is the allreduce algorithm the run executed — the
+	// resolution of Config.Collective. Auto when the program performs no
+	// reductions or ran on one processor (no algorithm was needed).
+	Collective collective.Alg
 
 	Output string // rank-0 writeln output
 
@@ -225,23 +244,17 @@ type world struct {
 	stats   []procStat
 	statsMu sync.Mutex
 
-	// reduction plumbing of the goroutine oracle: every processor sends
-	// its contribution to the collector (rank 0 drains it), then reads
-	// its broadcast channel. The scheduler uses mailboxes instead.
-	collect chan redMsg
-	bcast   []chan redMsg
+	// Collective execution state: the algorithm resolved for this run and
+	// every rank's hop schedule (collSteps[r], see collective.go). Both
+	// stay nil/zero when the program has no reductions or runs on one
+	// processor.
+	collAlg   collective.Alg
+	collSteps [][]collective.Step
 
 	abort     chan struct{}
 	abortOnce sync.Once
 	abortErr  error
 	abortMu   sync.Mutex
-}
-
-type redMsg struct {
-	seq  int
-	rank int
-	val  float64
-	t    vtime.Time
 }
 
 func (w *world) fail(err error) {
@@ -457,12 +470,18 @@ func (w *world) setup(cfg Config) error {
 		walk(pr.Body)
 	}
 
-	if !w.mn {
-		w.collect = make(chan redMsg, w.mesh.Size()+1)
-		w.bcast = make([]chan redMsg, w.mesh.Size())
-		for i := range w.bcast {
-			w.bcast[i] = make(chan redMsg, 4)
+	// Resolve the collective algorithm and build every rank's hop
+	// schedule, but only when a reduction can actually execute: the plan
+	// records the program's reduction sites, and a single processor
+	// reduces locally without any hops (so forcing a mesh-ineligible
+	// algorithm there is not an error).
+	if len(w.plan.Collectives) > 0 && w.mesh.Size() > 1 {
+		alg, err := collective.Resolve(cfg.Collective, w.lib, w.mesh)
+		if err != nil {
+			return fmt.Errorf("rt: %w", err)
 		}
+		w.collAlg = alg
+		w.collSteps = collective.AllSteps(alg, w.mesh)
 	}
 	w.stats = make([]procStat, 0, w.mesh.Size())
 	w.procs = make([]*proc, w.mesh.Size())
@@ -486,6 +505,7 @@ func (w *world) setup(cfg Config) error {
 	if cfg.Profile {
 		for _, p := range w.procs {
 			p.prof = map[*comm.Transfer]*profAcc{}
+			p.cprof = map[*comm.Collective]*profAcc{}
 		}
 	}
 	if cfg.Metrics {
@@ -579,10 +599,12 @@ func evalRegionBounds(ev *scalarEnv, rank int, bounds [grid.MaxRank][2]ir.Expr) 
 // interleaving — so every merge here keys on the recorded rank, never on
 // arrival position.
 func (w *world) gather() *Result {
-	res := &Result{Mesh: w.mesh, arrays: map[string]*Dense{}}
+	res := &Result{Mesh: w.mesh, arrays: map[string]*Dense{}, Collective: w.collAlg}
 	res.PerProc = make([]Breakdown, len(w.procs))
+	res.PerProcMsgs = make([]int, len(w.procs))
 	for _, st := range w.stats {
 		res.PerProc[st.rank] = st.bd
+		res.PerProcMsgs[st.rank] = st.messages
 		res.Messages += st.messages
 		res.BytesSent += st.bytesSent
 		if st.rank == 0 {

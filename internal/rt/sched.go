@@ -75,7 +75,12 @@ type mbox struct {
 	data [][]*dataMsg // data[slot]: message FIFO from that neighbor
 	toks [][]readyTok // toks[slot]: rendezvous token FIFO from that neighbor
 	rets [][]*dataMsg // rets[slot]: recycled buffers returned by that neighbor
-	red  []redMsg     // reduction inbox: contributions (rank 0) and broadcasts
+	// coll is the collective inbox, keyed by (sequence, source) — see
+	// collKey. Receives follow the rank's deterministic hop schedule, not
+	// arrival order, so a keyed lookup replaces what a FIFO would force
+	// into an O(P) scan at the star root. Allocated on first delivery;
+	// reduction-free programs never pay for it.
+	coll map[uint64]collMsg
 }
 
 // scheduler runs one world's processors on a bounded worker pool.
@@ -435,12 +440,19 @@ func (p *proc) deliverRet(dst *proc, slot int, m *dataMsg) {
 	dst.mb.mu.Unlock()
 }
 
-// deliverRed appends a reduction message (a contribution, to rank 0, or
-// a broadcast, to anyone) to dst's reduction inbox. dst may be p itself:
-// the box mutex is never held across a park, so self-delivery is safe.
-func (p *proc) deliverRed(dst *proc, m redMsg) {
+// deliverColl inserts a collective hop message into dst's keyed inbox.
+// The (sequence, source) key is unique among undelivered messages (see
+// collKey); a duplicate insert means the schedules are corrupt, which
+// must abort rather than silently overwrite a value.
+func (p *proc) deliverColl(dst *proc, key uint64, m collMsg) {
 	dst.mb.mu.Lock()
-	dst.mb.red = append(dst.mb.red, m)
+	if dst.mb.coll == nil {
+		dst.mb.coll = map[uint64]collMsg{}
+	} else if _, dup := dst.mb.coll[key]; dup {
+		dst.mb.mu.Unlock()
+		panic(fmt.Sprintf("rt: proc %d: duplicate reduction message seq %d from proc %d", dst.rank, m.seq, m.src))
+	}
+	dst.mb.coll[key] = m
 	wake := dst.mb.wakeLocked(waitRed, 0)
 	dst.mb.mu.Unlock()
 	if wake {
@@ -480,13 +492,14 @@ func (p *proc) nextTok(slot int) readyTok {
 	}
 }
 
-// nextRed pops the next reduction message, parking until one arrives.
-func (p *proc) nextRed() redMsg {
+// nextColl takes the collective message with the given key, parking
+// until it is delivered. Any collective delivery wakes a waitRed parker;
+// the loop re-checks the O(1) keyed lookup on spurious wakes.
+func (p *proc) nextColl(key uint64) collMsg {
 	for {
 		p.mb.mu.Lock()
-		if q := p.mb.red; len(q) > 0 {
-			m := q[0]
-			p.mb.red = q[1:]
+		if m, ok := p.mb.coll[key]; ok {
+			delete(p.mb.coll, key)
 			p.mb.mu.Unlock()
 			return m
 		}

@@ -179,9 +179,9 @@ func TestSchedulerParkStepHandshake(t *testing.T) {
 		var done atomic.Int32
 		w.runSched(8, func(p *proc) {
 			if p.rank%2 == 0 {
-				p.nextRed() // parks (rank order runs us before our waker)
+				p.nextColl(collKey(0, p.rank+1)) // parks (rank order runs us before our waker)
 			} else {
-				p.deliverRed(w.procs[p.rank-1], redMsg{rank: p.rank})
+				p.deliverColl(w.procs[p.rank-1], collKey(0, p.rank), collMsg{src: p.rank})
 			}
 			done.Add(1)
 		})

@@ -112,6 +112,14 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 					engine = "interp"
 				}
 				ce.Args = map[string]any{"engine": engine}
+			case KindReduce:
+				ce.Ph = "X"
+				ce.Dur = float64(e.Dur) / 1000
+				// Per-hop spans carry their algorithm level and payload; the
+				// whole-reduction span (A0 < 0) has no per-hop detail.
+				if e.A0 >= 0 {
+					ce.Args = map[string]any{"level": e.A0, "bytes": e.A1}
+				}
 			default:
 				ce.Ph = "X"
 				ce.Dur = float64(e.Dur) / 1000

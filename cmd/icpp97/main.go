@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 
 	"commopt/internal/experiments"
@@ -24,7 +25,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, scalinglaw, profile, predict")
+	// Batch workload: every experiment cell builds a complete simulated
+	// machine (up to 4096 processors of compiled kernels, schedules and
+	// fields), runs it, and discards it. Under the default GC target the
+	// collector re-walks that live world several times per cell; relaxing
+	// the target trades a few tens of MB of peak heap at quick sizes for
+	// a materially faster sweep. An explicit GOGC always wins.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(300)
+	}
+	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, scalinglaw, collective, profile, predict")
 	procs := flag.Int("procs", 64, "processors in the simulated partition")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	workers := flag.Int("workers", 0, "benchmark×experiment cells simulated concurrently (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
@@ -125,6 +135,8 @@ func run(exp string, r *experiments.Runner) error {
 		}
 	case "scalinglaw":
 		return table(experiments.ScalingLaw("simple", experiments.DefaultScalingLawProcs, r.Quick, r.Workers))
+	case "collective":
+		return table(experiments.CollectiveTable("simple", experiments.DefaultCollectiveProcs, r.Quick, r.Workers))
 	case "profile":
 		// Opt-in only: the profile appendix is never part of "all", so the
 		// figure and table outputs stay byte-identical with and without

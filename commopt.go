@@ -19,6 +19,7 @@ package commopt
 import (
 	"fmt"
 
+	"commopt/internal/collective"
 	"commopt/internal/comm"
 	"commopt/internal/ir"
 	"commopt/internal/machine"
@@ -97,6 +98,12 @@ type RunOptions struct {
 	Procs   int    // default 64
 	Configs map[string]float64
 
+	// Collective forces the allreduce algorithm: "star", "tree",
+	// "butterfly" or "twolevel". Empty or "auto" selects the cheapest
+	// eligible algorithm under the machine's cost model. Floating-point
+	// reduction results are bit-identical across all algorithms.
+	Collective string
+
 	// ForceInterpreter runs array statements on the closure interpreter
 	// instead of compiled kernels (differential-testing oracle; results
 	// are identical, only host wall-clock differs).
@@ -135,10 +142,18 @@ func (p *Program) Run(plan *comm.Plan, opts RunOptions) (*rt.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Collective == "" {
+		opts.Collective = "auto"
+	}
+	alg, err := collective.ParseAlg(opts.Collective)
+	if err != nil {
+		return nil, err
+	}
 	return rt.Run(p.IR, plan, rt.Config{
 		Machine:               mach,
 		Library:               opts.Library,
 		Procs:                 opts.Procs,
+		Collective:            alg,
 		ConfigVars:            opts.Configs,
 		ForceInterpreter:      opts.ForceInterpreter,
 		ForceLegacyComm:       opts.ForceLegacyComm,

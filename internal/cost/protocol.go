@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"commopt/internal/collective"
 	"commopt/internal/comm"
 	"commopt/internal/diag"
 	"commopt/internal/ir"
@@ -39,6 +40,20 @@ const (
 	// capacity than the runtime allocates (2*maxInflight+2 > capacity),
 	// voiding the deadlock-freedom argument of DESIGN.md §13.
 	RuleInflightOverflow = "proto-inflight-overflow"
+	// RuleCollPairing: a collective schedule's hops are not pairwise
+	// matched — some send has no receive with the same payload on the
+	// other end (or vice versa), or one directed edge carries more than
+	// one message per reduction, which the runtime's keyed (sequence,
+	// source) delivery cannot represent.
+	RuleCollPairing = "proto-coll-pairing"
+	// RuleCollCoverage: replaying a collective schedule's data flow, some
+	// rank folds without holding all P contributions, receives a window
+	// that is not contiguous with the one it holds (double-counting or
+	// dropping contributions), or finishes without the reduction result.
+	RuleCollCoverage = "proto-coll-coverage"
+	// RuleCollProgress: a collective schedule cannot complete — some rank
+	// blocks on a message no peer ever sends.
+	RuleCollProgress = "proto-coll-progress"
 )
 
 // ProtoRules lists every protocol checker rule with a one-line doc, for
@@ -50,6 +65,9 @@ func ProtoRules() [][2]string {
 		{RuleRendezvousCycle, "rendezvous binding: SR precedes its own DR (global wait cycle)"},
 		{RulePairAsymmetry, "send/receive pair tables not transpose-symmetric on the mesh"},
 		{RuleInflightOverflow, "per-pair in-flight transfers exceed the runtime channel capacity"},
+		{RuleCollPairing, "collective schedule hops not pairwise matched across ranks"},
+		{RuleCollCoverage, "collective schedule folds without covering every contribution exactly once"},
+		{RuleCollProgress, "collective schedule cannot complete (rank waits forever)"},
 	}
 }
 
@@ -78,6 +96,7 @@ func Check(prog *ir.Program, plan *comm.Plan, cfg Config, capacity int) ([]diag.
 		return c.findings, err
 	}
 	c.shapes(w, capacity)
+	c.collectives(w)
 	return c.findings, nil
 }
 
@@ -442,6 +461,185 @@ func (c *checker) checkPreheaderInflight(ts []*comm.Transfer, active map[*comm.T
 		return fmt.Sprintf("preheader: up to %d transfers in flight from proc %d to proc %d need channel capacity %d, runtime allocates %d",
 			m, p[0], p[1], 2*m+2, capacity)
 	}, ts)
+}
+
+// collectives verifies every algorithm eligible on the run's mesh — not
+// just the selected one, since Config.Collective or a different library
+// could pick any of them — against the three collective rules: hop
+// pairing, fold coverage and progress. Skipped when the plan has no
+// reduction sites or the mesh is a single processor (the runtime builds
+// no schedule there).
+func (c *checker) collectives(w *walker) {
+	if len(c.plan.Collectives) == 0 || w.lay.mesh.Size() == 1 {
+		return
+	}
+	pos := c.plan.Collectives[0].Pos
+	for _, a := range collective.Algorithms() {
+		if !collective.Eligible(a, w.lay.mesh) {
+			continue
+		}
+		c.checkCollective(a.String(), collective.AllSteps(a, w.lay.mesh), pos)
+	}
+}
+
+// checkCollective runs the pairing rule and the coverage/progress replay
+// over one schedule set (steps[r] is rank r's hops).
+func (c *checker) checkCollective(name string, steps [][]collective.Step, pos zpl.Pos) {
+	if c.collPairing(name, steps, pos) {
+		c.collReplay(name, steps, pos)
+	}
+}
+
+type collEdge struct{ src, dst int }
+
+// collPairing checks that every send has exactly one matching receive
+// with the same payload on its directed edge and vice versa, and that no
+// edge carries two messages in one reduction — the invariant the
+// runtime's keyed (sequence, source) mailbox delivery rests on. Returns
+// false when the schedule is too malformed for the replay to add signal.
+func (c *checker) collPairing(name string, steps [][]collective.Step, pos zpl.Pos) bool {
+	sends := map[collEdge][]collective.Step{}
+	recvs := map[collEdge][]collective.Step{}
+	for r, ss := range steps {
+		for _, st := range ss {
+			if st.Kind == collective.Send {
+				e := collEdge{r, st.Peer}
+				sends[e] = append(sends[e], st)
+			} else {
+				e := collEdge{st.Peer, r}
+				recvs[e] = append(recvs[e], st)
+			}
+		}
+	}
+	ok := true
+	for e, ss := range sends {
+		if len(ss) > 1 {
+			c.report(RuleCollPairing, pos,
+				"collective %s: rank %d sends %d messages to rank %d in one reduction; keyed delivery admits one",
+				name, e.src, len(ss), e.dst)
+			ok = false
+			continue
+		}
+		rr := recvs[e]
+		switch {
+		case len(rr) == 0:
+			c.report(RuleCollPairing, pos,
+				"collective %s: rank %d sends %d values to rank %d, which never receives them",
+				name, e.src, ss[0].Count, e.dst)
+			ok = false
+		case rr[0].Count != ss[0].Count || rr[0].Bcast != ss[0].Bcast:
+			c.report(RuleCollPairing, pos,
+				"collective %s: rank %d sends %d values (bcast=%v) to rank %d, which expects %d (bcast=%v)",
+				name, e.src, ss[0].Count, ss[0].Bcast, e.dst, rr[0].Count, rr[0].Bcast)
+			ok = false
+		}
+	}
+	for e, rr := range recvs {
+		if len(sends[e]) == 0 {
+			c.report(RuleCollPairing, pos,
+				"collective %s: rank %d expects %d values from rank %d, which never sends them",
+				name, e.dst, rr[0].Count, e.src)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// collReplay replays the schedule's data flow the way the runtime's
+// allreduce executes it — contiguous contribution windows growing by
+// received hops, folded only when complete — reporting the first
+// coverage violation (RuleCollCoverage) or stall (RuleCollProgress).
+func (c *checker) collReplay(name string, steps [][]collective.Step, pos zpl.Pos) {
+	p := len(steps)
+	type win struct {
+		start, count int
+		bcast        bool
+	}
+	inflight := map[collEdge][]win{}
+	base := make([]int, p)
+	cnt := make([]int, p)
+	done := make([]bool, p) // rank holds the folded result
+	idx := make([]int, p)
+	remaining := 0
+	for r := range steps {
+		base[r], cnt[r] = r, 1
+		remaining += len(steps[r])
+	}
+	for remaining > 0 {
+		progress := false
+		for r := 0; r < p; r++ {
+			for idx[r] < len(steps[r]) {
+				st := steps[r][idx[r]]
+				if st.Kind == collective.Send {
+					e := collEdge{r, st.Peer}
+					if st.Bcast {
+						if !done[r] && (base[r] != 0 || cnt[r] != p) {
+							c.report(RuleCollCoverage, pos,
+								"collective %s: rank %d folds holding contributions [%d,%d) of %d — the result would drop ranks",
+								name, r, base[r], base[r]+cnt[r], p)
+							return
+						}
+						done[r] = true
+						inflight[e] = append(inflight[e], win{bcast: true, count: 1})
+					} else {
+						if st.Count != cnt[r] {
+							c.report(RuleCollCoverage, pos,
+								"collective %s: rank %d sends %d values but holds %d contributions",
+								name, r, st.Count, cnt[r])
+							return
+						}
+						inflight[e] = append(inflight[e], win{start: base[r], count: cnt[r]})
+					}
+				} else {
+					e := collEdge{st.Peer, r}
+					q := inflight[e]
+					if len(q) == 0 {
+						break // blocked; revisit after the peer progresses
+					}
+					m := q[0]
+					inflight[e] = q[1:]
+					if m.bcast {
+						done[r] = true
+					} else {
+						switch {
+						case m.start == base[r]+cnt[r]:
+							cnt[r] += m.count
+						case m.start+m.count == base[r]:
+							base[r] = m.start
+							cnt[r] += m.count
+						default:
+							c.report(RuleCollCoverage, pos,
+								"collective %s: rank %d receives contributions [%d,%d) not contiguous with its window [%d,%d) — double-counting or dropping ranks",
+								name, r, m.start, m.start+m.count, base[r], base[r]+cnt[r])
+							return
+						}
+					}
+				}
+				idx[r]++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			for r := 0; r < p; r++ {
+				if idx[r] < len(steps[r]) {
+					st := steps[r][idx[r]]
+					c.report(RuleCollProgress, pos,
+						"collective %s: rank %d blocks at step %d waiting for a level-%d message from rank %d that is never sent",
+						name, r, idx[r], st.Level, st.Peer)
+					return
+				}
+			}
+		}
+	}
+	for r := 0; r < p; r++ {
+		if !done[r] && !(base[r] == 0 && cnt[r] == p) {
+			c.report(RuleCollCoverage, pos,
+				"collective %s: rank %d finishes holding [%d,%d) of %d contributions and never receives the result",
+				name, r, base[r], base[r]+cnt[r], p)
+			return
+		}
+	}
 }
 
 func (c *checker) reportInflight(maxIn map[[2]int]int, capacity int, msg func([2]int, int) string, ts []*comm.Transfer) {

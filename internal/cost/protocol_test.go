@@ -3,8 +3,10 @@ package cost
 import (
 	"testing"
 
+	"commopt/internal/collective"
 	"commopt/internal/comm"
 	"commopt/internal/diag"
+	"commopt/internal/grid"
 	"commopt/internal/ir"
 	"commopt/internal/machine"
 	"commopt/internal/programs"
@@ -245,5 +247,170 @@ func TestMutationHoistedCallInBlock(t *testing.T) {
 
 	if fs := CheckPlan(plan); !rules(fs)[RuleCallSet] {
 		t.Fatalf("hoisted transfer's in-block call not caught; findings: %v", fs)
+	}
+}
+
+// collSteps builds one algorithm's schedules on a mesh for the mutation
+// tests to corrupt before handing them to the collective checker.
+func collSteps(t *testing.T, a collective.Alg, procs int) [][]collective.Step {
+	t.Helper()
+	mesh := grid.SquarestMesh(procs)
+	if !collective.Eligible(a, mesh) {
+		t.Fatalf("%s not eligible on %v", a, mesh)
+	}
+	return collective.AllSteps(a, mesh)
+}
+
+// TestCollectiveCleanSchedules is the positive control: every eligible
+// algorithm's generated schedule passes all three collective rules on
+// meshes of each shape class (1-D, square, non-power-of-two).
+func TestCollectiveCleanSchedules(t *testing.T) {
+	for _, procs := range []int{2, 4, 6, 16, 25, 64} {
+		mesh := grid.SquarestMesh(procs)
+		for _, a := range collective.Algorithms() {
+			if !collective.Eligible(a, mesh) {
+				continue
+			}
+			c := &checker{}
+			c.checkCollective(a.String(), collective.AllSteps(a, mesh), zpl.Pos{})
+			for _, f := range c.findings {
+				t.Errorf("%s on %d procs: unexpected finding %s: %s", a, procs, f.Rule, f.Msg)
+			}
+		}
+	}
+}
+
+// TestMutationCollDroppedSend removes one rank's send: its partner
+// blocks forever, which the progress rule must catch (the pairing rule
+// fires too — the orphaned receive has no sender).
+func TestMutationCollDroppedSend(t *testing.T) {
+	for _, a := range []collective.Alg{collective.Star, collective.Tree, collective.Butterfly, collective.TwoLevel} {
+		steps := collSteps(t, a, 16)
+		dropped := false
+		for i, st := range steps[1] {
+			if st.Kind == collective.Send {
+				steps[1] = append(steps[1][:i:i], steps[1][i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			t.Fatalf("%s: rank 1 has no send", a)
+		}
+		c := &checker{}
+		c.checkCollective(a.String(), steps, zpl.Pos{})
+		if !rules(c.findings)[RuleCollPairing] {
+			t.Errorf("%s: dropped send not caught by pairing; findings: %v", a, c.findings)
+		}
+	}
+}
+
+// TestMutationCollMisdirectedSend redirects one gather send to the wrong
+// peer: pairing breaks on both the original and the new edge.
+func TestMutationCollMisdirectedSend(t *testing.T) {
+	steps := collSteps(t, collective.Tree, 16)
+	for i, st := range steps[3] {
+		if st.Kind == collective.Send && !st.Bcast {
+			steps[3][i].Peer = (st.Peer + 1) % 16
+			break
+		}
+	}
+	c := &checker{}
+	c.checkCollective("tree", steps, zpl.Pos{})
+	if !rules(c.findings)[RuleCollPairing] {
+		t.Fatalf("misdirected send not caught; findings: %v", c.findings)
+	}
+}
+
+// TestMutationCollShrunkWindow shrinks one gather hop's payload on both
+// ends: pairing stays symmetric, but the fold no longer covers every
+// contribution — the coverage replay must catch it.
+func TestMutationCollShrunkWindow(t *testing.T) {
+	steps := collSteps(t, collective.Butterfly, 16)
+	// Level-2 hops carry windows of 4; shrink one exchange to 3 on both
+	// sides so the receiver's window stops being contiguous-complete.
+	mutated := 0
+	for r := range steps {
+		for i, st := range steps[r] {
+			if st.Level == 2 && (r == 0 || r == 4) {
+				steps[r][i].Count = st.Count - 1
+				mutated++
+			}
+		}
+	}
+	if mutated != 4 {
+		t.Fatalf("expected to shrink 4 hops (send+recv on both ranks), got %d", mutated)
+	}
+	c := &checker{}
+	c.checkCollective("butterfly", steps, zpl.Pos{})
+	if !rules(c.findings)[RuleCollCoverage] {
+		t.Fatalf("shrunk gather window not caught; findings: %v", c.findings)
+	}
+}
+
+// TestMutationCollSwappedOrder swaps one rank's butterfly send/recv pair
+// so both partners receive before sending in the same round: a genuine
+// wait cycle the progress rule must catch. (Pairing still holds — every
+// edge has its matched send and receive.)
+func TestMutationCollSwappedOrder(t *testing.T) {
+	steps := collSteps(t, collective.Butterfly, 4)
+	// Rank 0 and rank 1 exchange at level 0 (steps 0 and 1). Make both
+	// receive first: each waits for the other's send that never happens.
+	steps[0][0], steps[0][1] = steps[0][1], steps[0][0]
+	steps[1][0], steps[1][1] = steps[1][1], steps[1][0]
+	c := &checker{}
+	c.checkCollective("butterfly", steps, zpl.Pos{})
+	if !rules(c.findings)[RuleCollProgress] {
+		t.Fatalf("receive-before-send cycle not caught; findings: %v", c.findings)
+	}
+}
+
+// TestMutationCollMissingBcast drops the star root's result send to one
+// rank: that rank never receives the fold. Pairing flags the orphaned
+// receive; dropping the receive too must then trip coverage (the rank
+// finishes without the result).
+func TestMutationCollMissingBcast(t *testing.T) {
+	steps := collSteps(t, collective.Star, 16)
+	// Remove root's bcast send to rank 5 AND rank 5's matching receive,
+	// keeping pairing clean so the coverage rule does the work.
+	var pruned []collective.Step
+	for _, st := range steps[0] {
+		if st.Kind == collective.Send && st.Bcast && st.Peer == 5 {
+			continue
+		}
+		pruned = append(pruned, st)
+	}
+	steps[0] = pruned
+	pruned = nil
+	for _, st := range steps[5] {
+		if st.Kind == collective.Recv && st.Bcast {
+			continue
+		}
+		pruned = append(pruned, st)
+	}
+	steps[5] = pruned
+	c := &checker{}
+	c.checkCollective("star", steps, zpl.Pos{})
+	if !rules(c.findings)[RuleCollCoverage] {
+		t.Fatalf("missing result delivery not caught; findings: %v", c.findings)
+	}
+}
+
+// TestCheckValidatesCollectives: the full Check entry point runs the
+// collective rules for every eligible algorithm when the plan carries
+// reduction sites (positive control through the public API: the shipped
+// schedules produce no findings — exercised already by
+// TestCheckCleanPlans on the reduction-bearing benchmarks).
+func TestCheckValidatesCollectives(t *testing.T) {
+	prog, plan, vars := compileBench(t, "simple", comm.PL())
+	if len(plan.Collectives) == 0 {
+		t.Fatal("simple should carry reduction sites")
+	}
+	fs, err := Check(prog, plan, testCfg("pvm", vars), rt.PairChanCap(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("clean plan produced findings: %v", fs)
 	}
 }

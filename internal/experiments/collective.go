@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"commopt/internal/collective"
+	"commopt/internal/comm"
+	"commopt/internal/cost"
+	"commopt/internal/grid"
+	"commopt/internal/machine"
+	"commopt/internal/programs"
+	"commopt/internal/report"
+	"commopt/internal/rt"
+)
+
+// CollectiveTable sweeps the allreduce algorithms across partition sizes
+// and both T3D libraries, one row per (library, processors) cell. Every
+// eligible algorithm is forced in turn and its measured execution time
+// reported; the "selected" column is the algorithm the runtime's auto
+// resolution actually executed, and the "predicted" column is the
+// cost model's independent choice (collective.Resolve through
+// cost.Predict). The experiment is itself a differential gate: it fails
+// if the two ever disagree, or if the selected algorithm does not have
+// the best measured time among the eligible ones — the selection must be
+// justified by the cost model AND by the measurement.
+//
+// The sweep deliberately includes a non-power-of-two partition:
+// recursive-doubling butterfly is only defined on power-of-two meshes,
+// so eligibility (not just cost) drives the crossover there.
+//
+// Cells are independent simulations over one shared compiled program and
+// run concurrently on up to workers goroutines, merging positionally;
+// the rendered table is byte-identical at any worker count.
+func CollectiveTable(benchName string, procCounts []int, quick bool, workers int) (*report.Table, error) {
+	if len(procCounts) == 0 {
+		return nil, fmt.Errorf("experiments: collective sweep needs at least one proc count")
+	}
+	bench, err := programs.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	cfgVars := bench.PaperConfig
+	if quick {
+		cfgVars = bench.CalibConfig
+	}
+
+	r := NewRunner(procCounts[0])
+	r.Workers = workers
+	r.mu.Lock()
+	c, err := r.compiledFor(benchName)
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	plan := comm.BuildPlan(c.prog, comm.PL())
+	if len(plan.Collectives) == 0 {
+		return nil, fmt.Errorf("experiments: benchmark %q performs no reductions", benchName)
+	}
+	mach := machine.T3D()
+	libs := []string{"pvm", "shmem"}
+	algs := collective.Algorithms()
+
+	// One job per (library, procs, algorithm∪auto) cell.
+	type cellKey struct {
+		lib, procs int
+		alg        collective.Alg // collective.Auto for the resolution run
+	}
+	var keys []cellKey
+	for li := range libs {
+		for pi, procs := range procCounts {
+			mesh := grid.SquarestMesh(procs)
+			keys = append(keys, cellKey{li, pi, collective.Auto})
+			for _, a := range algs {
+				if collective.Eligible(a, mesh) {
+					keys = append(keys, cellKey{li, pi, a})
+				}
+			}
+		}
+	}
+
+	cells := map[cellKey]*rt.Result{}
+	cellErrs := map[cellKey]error{}
+	var mu sync.Mutex
+	n := r.workers()
+	if n > len(keys) {
+		n = len(keys)
+	}
+	jobs := make(chan cellKey)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				rtCfg := rt.Config{
+					Machine:    mach,
+					Library:    libs[k.lib],
+					Procs:      procCounts[k.procs],
+					ConfigVars: cfgVars,
+					Collective: k.alg,
+				}
+				if n > 1 {
+					// Same policy as Runner.runCell: spend the process-wide
+					// step budget on cell-level parallelism rather than
+					// intra-world worker contention.
+					rtCfg.SchedWorkers = 1
+				}
+				res, err := rt.Run(c.prog, plan, rtCfg)
+				mu.Lock()
+				if err != nil {
+					cellErrs[k] = fmt.Errorf("%s at %d procs (%s, %v): %w",
+						benchName, procCounts[k.procs], libs[k.lib], k.alg, err)
+				} else {
+					cells[k] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, k := range keys {
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+
+	t := &report.Table{
+		Title: fmt.Sprintf("allreduce algorithms: %s (T3D), measured across partition and library", benchName),
+		Headers: []string{"library", "processors", "mesh",
+			"star (s)", "tree (s)", "butterfly (s)", "twolevel (s)", "selected", "predicted"},
+	}
+	for li, lib := range libs {
+		for pi, procs := range procCounts {
+			mesh := grid.SquarestMesh(procs)
+			auto := cellKey{li, pi, collective.Auto}
+			if err := cellErrs[auto]; err != nil {
+				return nil, err
+			}
+			sel := cells[auto]
+
+			// The predictor must independently land on the algorithm the
+			// runtime executed: both sides call collective.Resolve, and this
+			// experiment is where that contract is exercised end to end.
+			pred, err := cost.Predict(c.prog, plan, cost.Config{
+				Machine: mach, Library: lib, Procs: procs,
+				Collective: collective.Auto, ConfigVars: cfgVars,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: predict %s at %d procs (%s): %w", benchName, procs, lib, err)
+			}
+			if pred.Collective != sel.Collective {
+				return nil, fmt.Errorf("experiments: %s at %d procs (%s): runtime executed %v but cost.Predict selected %v",
+					benchName, procs, lib, sel.Collective, pred.Collective)
+			}
+
+			var algCols []string
+			for _, a := range algs {
+				k := cellKey{li, pi, a}
+				if !collective.Eligible(a, mesh) {
+					algCols = append(algCols, "-")
+					continue
+				}
+				if err := cellErrs[k]; err != nil {
+					return nil, err
+				}
+				res := cells[k]
+				if res.Collective == sel.Collective && res.ExecTime > sel.ExecTime {
+					return nil, fmt.Errorf("experiments: %s at %d procs (%s): auto run slower than forced %v (%v > %v)",
+						benchName, procs, lib, a, sel.ExecTime, res.ExecTime)
+				}
+				if res.ExecTime < sel.ExecTime {
+					return nil, fmt.Errorf("experiments: %s at %d procs (%s): selected %v (%v) loses to forced %v (%v)",
+						benchName, procs, lib, sel.Collective, sel.ExecTime, a, res.ExecTime)
+				}
+				algCols = append(algCols, fmt.Sprintf("%.6f", res.ExecTime.Seconds()))
+			}
+			row := []any{lib, procs, mesh.String()}
+			for _, col := range algCols {
+				row = append(row, col)
+			}
+			row = append(row, sel.Collective.String(), pred.Collective.String())
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// DefaultCollectiveProcs is the partition sweep of the collective
+// experiment: the paper's 64-node regime, a deliberately non-power-of-two
+// partition (butterfly ineligible — the crossover is eligibility-driven,
+// not cost-driven), and the scheduler's large-partition regime.
+var DefaultCollectiveProcs = []int{64, 96, 256, 1024, 4096}

@@ -2,6 +2,7 @@ package rt
 
 import (
 	"fmt"
+	"sync"
 
 	"commopt/internal/collective"
 	"commopt/internal/ir"
@@ -19,22 +20,58 @@ import (
 // Perfetto timeline all reflect the algorithm that actually ran — and
 // cost.Predict, which prices the identical schedule, matches exactly.
 //
-// All algorithms gather raw contribution vectors and fold in strict rank
-// order (at the first broadcast send, or locally once a rank's window
-// covers everyone), so floating-point results are bit-identical across
-// algorithms — the property the collective differential test asserts.
+// All algorithms gather windows of raw contributions (held on the shared
+// board, world.collContrib — hops move window metadata, not values) and
+// fold in strict rank order at the first broadcast send, or locally once
+// a rank's window covers everyone, so floating-point results are
+// bit-identical across algorithms — the property the collective
+// differential test asserts.
 
-// collMsg is one collective hop's payload. Scalar hops (broadcasts,
-// leaf contributions) carry val; wider gather hops carry a copy of the
-// sender's contiguous window in vals, starting at rank index start. t is
-// the virtual time the message reaches the receiver.
+// collMsg is one collective hop's message. Hops carry no value payload:
+// gather hops hand over the sender's contiguous window of the shared
+// contribution board (world.collContrib) by announcing its start index,
+// and only broadcast hops carry a scalar, the folded result, in val. t
+// is the virtual time the message reaches the receiver. Keeping the
+// message constant-size regardless of window width is what makes wide
+// butterfly hops as cheap to deliver in host time as scalar star hops
+// even though they are charged the full per-byte virtual cost.
 type collMsg struct {
 	seq   int
 	src   int
 	start int
 	val   float64
-	vals  []float64
 	t     vtime.Time
+}
+
+// foldCell caches one contribution board's rank-order fold, keyed by the
+// reduction sequence it belongs to (-1 until first use). Butterfly ends
+// with every rank holding the full window; the cache turns P identical
+// O(P) folds into one fold plus P-1 cached reads. The cached value is a
+// deterministic function of the board, so sharing it cannot perturb
+// bit-identical results.
+type foldCell struct {
+	mu  sync.Mutex
+	seq int
+	val float64
+}
+
+// foldOf returns the rank-order fold of reduction seq's contribution
+// board, computing it on first request. Callers must hold a complete
+// window (checked in allreduce), which guarantees the happens-before
+// chain from every contribution write.
+func (w *world) foldOf(seq int, op ir.ReduceOp) float64 {
+	c := &w.collFold[seq&1]
+	c.mu.Lock()
+	if c.seq != seq {
+		acc := op.Identity()
+		for _, v := range w.collContrib[seq&1] {
+			acc = op.Combine(acc, v)
+		}
+		c.val, c.seq = acc, seq
+	}
+	v := c.val
+	c.mu.Unlock()
+	return v
 }
 
 // collKey builds the mailbox key of one hop's message. Matching is by
@@ -63,11 +100,7 @@ func (p *proc) allreduce(node *ir.Reduce, val float64) float64 {
 	msgs0, bytes0 := p.messages, p.bytesSent
 	comm0, wait0 := p.commT, p.waitT
 
-	if len(p.redVals) < n {
-		p.redVals = make([]float64, n)
-	}
-	vals := p.redVals[:n]
-	vals[p.rank] = val
+	w.collContrib[seq&1][p.rank] = val
 	base, cnt := p.rank, 1
 	var result float64
 	haveResult := false
@@ -76,11 +109,7 @@ func (p *proc) allreduce(node *ir.Reduce, val float64) float64 {
 			panic(fmt.Sprintf("rt: proc %d folds reduction %d with incomplete window [%d,+%d) of %d",
 				p.rank, seq, base, cnt, n))
 		}
-		acc := op.Identity()
-		for _, v := range vals {
-			acc = op.Combine(acc, v)
-		}
-		return acc
+		return w.foldOf(seq, op)
 	}
 
 	for _, st := range w.collSteps[p.rank] {
@@ -97,11 +126,6 @@ func (p *proc) allreduce(node *ir.Reduce, val float64) float64 {
 					panic(fmt.Sprintf("rt: proc %d sends %d reduction values but window holds %d", p.rank, st.Count, cnt))
 				}
 				m.start = base
-				if cnt == 1 {
-					m.val = vals[base]
-				} else {
-					m.vals = append([]float64(nil), vals[base:base+cnt]...)
-				}
 			}
 			start := p.clock
 			p.chargeComm(collective.SendCost(w.lib, st.Count))
@@ -124,11 +148,6 @@ func (p *proc) allreduce(node *ir.Reduce, val float64) float64 {
 			if st.Bcast {
 				result, haveResult = m.val, true
 			} else {
-				if m.vals == nil {
-					vals[m.start] = m.val
-				} else {
-					copy(vals[m.start:m.start+len(m.vals)], m.vals)
-				}
 				switch {
 				case m.start == base+cnt:
 					cnt += st.Count

@@ -108,14 +108,22 @@ func (p *proc) geometry(t *comm.Transfer, reg grid.Region) *commSched {
 
 // state returns the transfer's schedule, opening it on the first IRONMAN
 // call of a DR..SV sequence. The schedule itself comes from the
-// persistent compiled cache; xfers only tracks which transfers are open
-// so block boundaries can assert every sequence completed.
+// persistent compiled cache; the open slice (indexed by the transfer's
+// per-block ID) only tracks which transfers are open so block boundaries
+// can assert every sequence completed.
 func (p *proc) state(t *comm.Transfer) *commSched {
-	if st, ok := p.xfers[t]; ok {
-		return st
+	if t.ID < len(p.open) {
+		if st := p.open[t.ID]; st != nil {
+			return st
+		}
+	} else {
+		grown := make([]*commSched, t.ID+8)
+		copy(grown, p.open)
+		p.open = grown
 	}
 	st := p.sched(t, p.evalRegion(t.Region))
-	p.xfers[t] = st
+	p.open[t.ID] = st
+	p.openCount++
 	return st
 }
 
@@ -166,7 +174,8 @@ func (p *proc) dispatchCall(c comm.Call) {
 		p.execDN(c.T, st, lib)
 	case comm.SV:
 		p.execSV(st, lib)
-		delete(p.xfers, c.T)
+		p.open[c.T.ID] = nil
+		p.openCount--
 	}
 }
 

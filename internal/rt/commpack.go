@@ -125,8 +125,15 @@ func (p *proc) compileRuns(t *comm.Transfer, st *commSched) {
 // executions: re-running a loop body reuses the compiled run lists
 // instead of re-deriving rectangle geometry every iteration.
 func (p *proc) sched(t *comm.Transfer, reg grid.Region) *commSched {
+	// Fast path: the transfer resolved the same region as last time, so
+	// one pointer-keyed lookup and an inline region compare replace the
+	// struct-keyed cache's hash and equality walk.
+	if st := p.schedHint[t]; st != nil && st.reg == reg {
+		return st
+	}
 	key := schedKey{t: t, reg: reg}
 	if st, ok := p.scheds[key]; ok {
+		p.schedHint[t] = st
 		return st
 	}
 	st := p.geometry(t, reg)
@@ -137,5 +144,6 @@ func (p *proc) sched(t *comm.Transfer, reg grid.Region) *commSched {
 		p.scheds = map[schedKey]*commSched{}
 	}
 	p.scheds[key] = st
+	p.schedHint[t] = st
 	return st
 }

@@ -129,6 +129,24 @@ func forRows(reg grid.Region, inner int, fn func(i, j, k int)) {
 	}
 }
 
+// kernelHintEntry backs the pointer-keyed fast path in front of the
+// struct-keyed kernel cache: the kernel (possibly the memoized nil) a
+// statement most recently resolved, plus the region it was compiled
+// for. Statements resolve the same local region on every execution
+// except wavefront sweeps, so one fast-key lookup and an inline region
+// compare replace the struct key's hash and equality walk on the
+// per-statement-execution hot path. reduceHintEntry is the same for
+// reduction partials.
+type kernelHintEntry struct {
+	local grid.Region
+	k     *kernel
+}
+
+type reduceHintEntry struct {
+	local grid.Region
+	k     *reduceKernel
+}
+
 // kernelFor returns the cached kernel for (s, local), compiling on first
 // use. nil means "use the interpreter": either kernels are disabled for
 // the run or the statement failed compile-time validation (the nil is
@@ -137,15 +155,19 @@ func (p *proc) kernelFor(s *ir.AssignArray, local grid.Region) *kernel {
 	if p.w.interp {
 		return nil
 	}
+	if h, ok := p.kernelHint[s]; ok && h.local == local {
+		return h.k
+	}
 	key := kernelKey{s, local}
-	if k, ok := p.kernels[key]; ok {
-		return k
+	k, ok := p.kernels[key]
+	if !ok {
+		k = p.compileKernel(s, local)
+		if len(p.kernels) >= kernelCacheLimit {
+			p.kernels = map[kernelKey]*kernel{}
+		}
+		p.kernels[key] = k
 	}
-	k := p.compileKernel(s, local)
-	if len(p.kernels) >= kernelCacheLimit {
-		p.kernels = map[kernelKey]*kernel{}
-	}
-	p.kernels[key] = k
+	p.kernelHint[s] = kernelHintEntry{local: local, k: k}
 	return k
 }
 
@@ -155,8 +177,12 @@ func (p *proc) reduceKernel(e *ir.Reduce, local grid.Region) *reduceKernel {
 	if p.w.interp || local.Empty() {
 		return nil
 	}
+	if h, ok := p.rkernelHint[e]; ok && h.local == local {
+		return h.k
+	}
 	key := reduceKey{e, local}
 	if k, ok := p.rkernels[key]; ok {
+		p.rkernelHint[e] = reduceHintEntry{local: local, k: k}
 		return k
 	}
 	var k *reduceKernel
@@ -169,6 +195,7 @@ func (p *proc) reduceKernel(e *ir.Reduce, local grid.Region) *reduceKernel {
 		p.rkernels = map[reduceKey]*reduceKernel{}
 	}
 	p.rkernels[key] = k
+	p.rkernelHint[e] = reduceHintEntry{local: local, k: k}
 	return k
 }
 

@@ -54,7 +54,6 @@ type proc struct {
 	scheds   map[schedKey]*commSched
 	sendPool [][]*dataMsg // sendPool[slot]: recycled messages for sends to that neighbor
 	retPool  [][]*dataMsg // retPool[slot]: unpacked messages awaiting return to that neighbor
-	redVals  []float64    // reduction gather window scratch, reused across reductions
 
 	// Collective transport of the goroutine oracle (collective.go): a
 	// buffered channel of hop messages plus a stash for out-of-order
@@ -67,6 +66,8 @@ type proc struct {
 	// per-execution temporaries, and the reusable row-evaluation context.
 	kernels     map[kernelKey]*kernel
 	rkernels    map[reduceKey]*reduceKernel
+	kernelHint  map[*ir.AssignArray]kernelHintEntry
+	rkernelHint map[*ir.Reduce]reduceHintEntry
 	arena       arena
 	nodeScratch bump // permanent per-node buffers of compiled closures
 	kctx        kctx
@@ -82,7 +83,17 @@ type proc struct {
 	waitT    vtime.Duration // blocked on data, tokens or reductions
 
 	output strings.Builder
-	xfers  map[*comm.Transfer]*commSched // transfers currently open (DR seen, SV pending)
+
+	// Open transfers (DR seen, SV pending). Block boundaries assert every
+	// sequence closed, so the open set only ever holds transfers of one
+	// block execution — and finalizeBlock numbers a block's transfers
+	// 0..N-1, so a slice indexed by t.ID replaces a map on the four-calls-
+	// per-sequence hot path. schedHint short-circuits the struct-keyed
+	// schedule cache for the common case of a transfer resolving the same
+	// region as last time (everything but wavefront sweeps).
+	open      []*commSched
+	openCount int
+	schedHint map[*comm.Transfer]*commSched
 
 	rng uint64 // deterministic per-processor jitter stream
 
@@ -152,15 +163,21 @@ func (p *proc) slotOf(rank int) int {
 
 func newProc(w *world, rank int) *proc {
 	r, c := w.mesh.Coord(rank)
+	// Cache maps are pre-sized for typical programs: every processor of
+	// every run populates them during its first block executions, and at
+	// 4096 processors the incremental rehashing of fresh small maps was
+	// a visible slice of setup time.
 	p := &proc{
 		w: w, rank: rank, row: r, col: c,
-		fnCache:   map[ir.Expr]evalFn{},
-		neighbors: neighborRanks(w.mesh, rank),
-		kernels:   map[kernelKey]*kernel{},
-		rkernels:  map[reduceKey]*reduceKernel{},
-		scheds:    map[schedKey]*commSched{},
-		xfers:     map[*comm.Transfer]*commSched{},
-		rng:       uint64(rank)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		fnCache:     make(map[ir.Expr]evalFn, 32),
+		neighbors:   neighborRanks(w.mesh, rank),
+		kernels:     make(map[kernelKey]*kernel, 16),
+		rkernels:    make(map[reduceKey]*reduceKernel, 8),
+		kernelHint:  make(map[*ir.AssignArray]kernelHintEntry, 16),
+		rkernelHint: make(map[*ir.Reduce]reduceHintEntry, 8),
+		scheds:      make(map[schedKey]*commSched, 16),
+		schedHint:   make(map[*comm.Transfer]*commSched, 16),
+		rng:         uint64(rank)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 	}
 	n := len(p.neighbors)
 	p.backSlots = make([]int, n)
@@ -171,7 +188,9 @@ func newProc(w *world, rank int) *proc {
 	p.retPool = make([][]*dataMsg, n)
 	if w.mn {
 		p.mb.data = make([][]*dataMsg, n)
+		p.mb.dataHead = make([]int, n)
 		p.mb.toks = make([][]readyTok, n)
+		p.mb.toksHead = make([]int, n)
 		p.mb.rets = make([][]*dataMsg, n)
 		p.resume = make(chan struct{}, 1)
 		p.yield = make(chan procState, 1)
@@ -287,8 +306,9 @@ func (p *proc) finish() {
 	w.stats = append(w.stats, st)
 	w.statsMu.Unlock()
 	p.kernels, p.rkernels, p.scheds, p.fnCache = nil, nil, nil, nil
-	p.sendPool, p.retPool, p.pending, p.redVals = nil, nil, nil, nil
-	p.collStash = nil
+	p.kernelHint, p.rkernelHint = nil, nil
+	p.sendPool, p.retPool, p.pending = nil, nil, nil
+	p.collStash, p.open, p.schedHint = nil, nil, nil
 	p.arena = arena{}
 }
 
@@ -384,7 +404,7 @@ func (p *proc) block(stmts []ir.Stmt) {
 			p.stmt(stmts[pos])
 		}
 	}
-	if len(p.xfers) != 0 {
+	if p.openCount != 0 {
 		panic("rt: transfers left open at block end")
 	}
 }
@@ -551,8 +571,42 @@ func (p *proc) write(s *ir.Write) {
 	p.output.WriteByte('\n')
 }
 
-// evalScalar evaluates a pure scalar expression (no array references).
-func (p *proc) evalScalar(e ir.Expr) float64 { return p.compile(e)(0, 0, 0) }
+// evalScalar evaluates a pure scalar expression (no array references) by
+// direct tree walk. Scalar control flow — loop bounds, conditions, scalar
+// assignments — runs once per iteration on every processor, so the walk
+// deliberately skips the closure compiler: compiling would mint one
+// closure tree per (processor, expression) pair per run, which at 4096
+// processors is pure allocation and cache-lookup overhead for
+// expressions that evaluate in a handful of arithmetic ops. Node types
+// that can legally appear only in array context fall back to the
+// compiled path at point (0,0,0), preserving the old semantics exactly.
+func (p *proc) evalScalar(e ir.Expr) float64 {
+	switch e := e.(type) {
+	case *ir.Const:
+		return e.Val
+	case *ir.ScalarRef:
+		return p.scalars[e.Sym.ID]
+	case *ir.Unary:
+		return evalUnary(e.Op, p.evalScalar(e.X))
+	case *ir.Binary:
+		return evalBinary(e.Op, p.evalScalar(e.X), p.evalScalar(e.Y))
+	case *ir.Intrinsic:
+		if len(e.Args) <= 2 {
+			var buf [2]float64
+			for i, a := range e.Args {
+				buf[i] = p.evalScalar(a)
+			}
+			return evalIntrinsic(e.Fn, buf[:len(e.Args)])
+		}
+		args := make([]float64, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = p.evalScalar(a)
+		}
+		return evalIntrinsic(e.Fn, args)
+	default:
+		return p.compile(e)(0, 0, 0)
+	}
+}
 
 func (p *proc) evalInt(e ir.Expr, what string) int {
 	v := p.evalScalar(e)

@@ -251,6 +251,22 @@ type world struct {
 	collAlg   collective.Alg
 	collSteps [][]collective.Step
 
+	// collContrib is the shared contribution board: collContrib[s&1][r] is
+	// rank r's raw input to reduction sequence s. Hop messages carry no
+	// payload — every processor lives in one address space, so a gather
+	// hop only needs to say *which* window it hands over; the values are
+	// read off the board. The happens-before edges of the hop messages
+	// themselves (mailbox mutex in scheduler mode, channels in oracle
+	// mode) make the reads safe: a rank's window covers slot j only after
+	// a message chain rooted at rank j's contribution write. Two boards
+	// suffice because a rank entering sequence s proves every rank
+	// finished s-1 (completing s-1 needs a message chain covering all
+	// ranks), so no reader of board s-2 survives. collFold caches the
+	// rank-order fold of each board so P ranks folding the same butterfly
+	// result cost one O(P) pass, not P of them.
+	collContrib [2][]float64
+	collFold    [2]foldCell
+
 	abort     chan struct{}
 	abortOnce sync.Once
 	abortErr  error
@@ -482,6 +498,10 @@ func (w *world) setup(cfg Config) error {
 		}
 		w.collAlg = alg
 		w.collSteps = collective.AllSteps(alg, w.mesh)
+		w.collContrib[0] = make([]float64, w.mesh.Size())
+		w.collContrib[1] = make([]float64, w.mesh.Size())
+		w.collFold[0].seq = -1
+		w.collFold[1].seq = -1
 	}
 	w.stats = make([]procStat, 0, w.mesh.Size())
 	w.procs = make([]*proc, w.mesh.Size())

@@ -70,17 +70,30 @@ type mbox struct {
 	mu       sync.Mutex
 	state    procState
 	wait     waitReason
-	waitSlot int // neighbor slot for waitData/waitReady
+	waitSlot int    // neighbor slot for waitData/waitReady
+	waitKey  uint64 // collective message key for waitRed (see collKey)
 
-	data [][]*dataMsg // data[slot]: message FIFO from that neighbor
-	toks [][]readyTok // toks[slot]: rendezvous token FIFO from that neighbor
-	rets [][]*dataMsg // rets[slot]: recycled buffers returned by that neighbor
+	// The data and token FIFOs pop by advancing a head index and reset
+	// to the front once drained, so one backing array per slot is reused
+	// for the whole run. (Popping by reslicing walked the slice off the
+	// front of its array, forcing the next append to reallocate — one
+	// fresh array per fill/drain cycle, pure garbage at 4096 procs.)
+	data     [][]*dataMsg // data[slot]: message FIFO from that neighbor
+	dataHead []int
+	toks     [][]readyTok // toks[slot]: rendezvous token FIFO from that neighbor
+	toksHead []int
+	rets     [][]*dataMsg // rets[slot]: recycled buffers returned by that neighbor
 	// coll is the collective inbox, keyed by (sequence, source) — see
 	// collKey. Receives follow the rank's deterministic hop schedule, not
 	// arrival order, so a keyed lookup replaces what a FIFO would force
 	// into an O(P) scan at the star root. Allocated on first delivery;
-	// reduction-free programs never pay for it.
-	coll map[uint64]collMsg
+	// reduction-free programs never pay for it. When the delivery is the
+	// exact key the owner is parked on, the message instead lands in the
+	// direct slot (collDirect/collOk) — the owner consumes it on resume
+	// without a map insert/lookup/delete round trip.
+	coll       map[uint64]collMsg
+	collDirect collMsg
+	collOk     bool
 }
 
 // scheduler runs one world's processors on a bounded worker pool.
@@ -443,9 +456,25 @@ func (p *proc) deliverRet(dst *proc, slot int, m *dataMsg) {
 // deliverColl inserts a collective hop message into dst's keyed inbox.
 // The (sequence, source) key is unique among undelivered messages (see
 // collKey); a duplicate insert means the schedules are corrupt, which
-// must abort rather than silently overwrite a value.
+// must abort rather than silently overwrite a value. Only the delivery
+// of the exact key the receiver is parked on wakes it: a rank blocked at
+// one hop routinely sees early arrivals (its peers' next-level hops, or
+// the next reduction's first sends), and waking it for those would cost
+// a full spurious park/resume round trip per early message.
 func (p *proc) deliverColl(dst *proc, key uint64, m collMsg) {
 	dst.mb.mu.Lock()
+	if dst.mb.state == stateParked && dst.mb.wait == waitRed && dst.mb.waitKey == key {
+		// The owner is parked on exactly this message: hand it over
+		// directly. The direct slot cannot be occupied — the owner
+		// consumes it before parking again.
+		dst.mb.collDirect = m
+		dst.mb.collOk = true
+		dst.mb.state = stateRunnable
+		dst.mb.wait = waitNone
+		dst.mb.mu.Unlock()
+		p.w.sched.enqueue(dst)
+		return
+	}
 	if dst.mb.coll == nil {
 		dst.mb.coll = map[uint64]collMsg{}
 	} else if _, dup := dst.mb.coll[key]; dup {
@@ -453,11 +482,7 @@ func (p *proc) deliverColl(dst *proc, key uint64, m collMsg) {
 		panic(fmt.Sprintf("rt: proc %d: duplicate reduction message seq %d from proc %d", dst.rank, m.seq, m.src))
 	}
 	dst.mb.coll[key] = m
-	wake := dst.mb.wakeLocked(waitRed, 0)
 	dst.mb.mu.Unlock()
-	if wake {
-		p.w.sched.enqueue(dst)
-	}
 }
 
 // nextData pops the next message from a neighbor slot, parking until one
@@ -465,10 +490,15 @@ func (p *proc) deliverColl(dst *proc, key uint64, m collMsg) {
 func (p *proc) nextData(slot int) *dataMsg {
 	for {
 		p.mb.mu.Lock()
-		if q := p.mb.data[slot]; len(q) > 0 {
-			m := q[0]
-			q[0] = nil
-			p.mb.data[slot] = q[1:]
+		if q, h := p.mb.data[slot], p.mb.dataHead[slot]; h < len(q) {
+			m := q[h]
+			q[h] = nil
+			if h+1 == len(q) {
+				p.mb.data[slot] = q[:0]
+				p.mb.dataHead[slot] = 0
+			} else {
+				p.mb.dataHead[slot] = h + 1
+			}
 			p.mb.mu.Unlock()
 			return m
 		}
@@ -481,10 +511,15 @@ func (p *proc) nextData(slot int) *dataMsg {
 func (p *proc) nextTok(slot int) readyTok {
 	for {
 		p.mb.mu.Lock()
-		if q := p.mb.toks[slot]; len(q) > 0 {
-			tok := q[0]
-			q[0] = readyTok{}
-			p.mb.toks[slot] = q[1:]
+		if q, h := p.mb.toks[slot], p.mb.toksHead[slot]; h < len(q) {
+			tok := q[h]
+			q[h] = readyTok{}
+			if h+1 == len(q) {
+				p.mb.toks[slot] = q[:0]
+				p.mb.toksHead[slot] = 0
+			} else {
+				p.mb.toksHead[slot] = h + 1
+			}
 			p.mb.mu.Unlock()
 			return tok
 		}
@@ -493,17 +528,26 @@ func (p *proc) nextTok(slot int) readyTok {
 }
 
 // nextColl takes the collective message with the given key, parking
-// until it is delivered. Any collective delivery wakes a waitRed parker;
-// the loop re-checks the O(1) keyed lookup on spurious wakes.
+// until exactly that key is delivered (deliverColl's wake condition);
+// the loop guards against any residual spurious resume.
 func (p *proc) nextColl(key uint64) collMsg {
 	for {
 		p.mb.mu.Lock()
+		if p.mb.collOk {
+			m := p.mb.collDirect
+			p.mb.collOk = false
+			p.mb.mu.Unlock()
+			return m
+		}
 		if m, ok := p.mb.coll[key]; ok {
 			delete(p.mb.coll, key)
 			p.mb.mu.Unlock()
 			return m
 		}
-		p.park(waitRed, 0)
+		p.mb.state = stateParked
+		p.mb.wait = waitRed
+		p.mb.waitKey = key
+		p.parkLocked()
 	}
 }
 

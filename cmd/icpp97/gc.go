@@ -1,0 +1,14 @@
+package main
+
+// defaultGCPercent decides whether main should relax the collector's
+// target for the batch sweep. It returns (def, true) only when the user
+// did not set GOGC at all; any explicit value — a number, "off", even
+// something the runtime itself would reject — wins, because overriding
+// an explicit setting would make the environment variable silently lie
+// about the collector's behavior.
+func defaultGCPercent(gogc string, def int) (int, bool) {
+	if gogc != "" {
+		return 0, false
+	}
+	return def, true
+}

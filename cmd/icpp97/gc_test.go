@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// The GC target override applies only when the user left GOGC unset; an
+// explicit setting of any kind must be respected.
+func TestDefaultGCPercent(t *testing.T) {
+	cases := []struct {
+		gogc string
+		want bool
+	}{
+		{"", true},
+		{"100", false},
+		{"300", false},
+		{"off", false},
+		{"garbage", false}, // runtime's problem, not ours to override
+	}
+	for _, c := range cases {
+		got, ok := defaultGCPercent(c.gogc, 300)
+		if ok != c.want {
+			t.Errorf("defaultGCPercent(%q): override=%v, want %v", c.gogc, ok, c.want)
+		}
+		if ok && got != 300 {
+			t.Errorf("defaultGCPercent(%q) = %d, want the default 300", c.gogc, got)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	icpp97 -procs 16       # a different partition size
 //	icpp97 -quick          # reduced problem sizes
 //	icpp97 -exp profile    # per-callsite "where did the time go" appendix
+//	icpp97 -exp critpath   # exact critical-path decomposition per experiment
 //	icpp97 -trace-dir traces -exp table1 -quick   # Perfetto timelines
 package main
 
@@ -31,10 +32,10 @@ func main() {
 	// collector re-walks that live world several times per cell; relaxing
 	// the target trades a few tens of MB of peak heap at quick sizes for
 	// a materially faster sweep. An explicit GOGC always wins.
-	if os.Getenv("GOGC") == "" {
-		debug.SetGCPercent(300)
+	if target, ok := defaultGCPercent(os.Getenv("GOGC"), 300); ok {
+		debug.SetGCPercent(target)
 	}
-	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, scalinglaw, collective, profile, predict")
+	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, scalinglaw, collective, profile, predict, critpath")
 	procs := flag.Int("procs", 64, "processors in the simulated partition")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	workers := flag.Int("workers", 0, "benchmark×experiment cells simulated concurrently (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
@@ -142,6 +143,13 @@ func run(exp string, r *experiments.Runner) error {
 		// figure and table outputs stay byte-identical with and without
 		// observability built in.
 		return experiments.RunProfiles(w, r)
+	case "critpath":
+		// Opt-in only, like profile: the decomposition is recorded by
+		// instrumented runs cached apart from the figures' cells, and it
+		// enforces its own acceptance gate (comm-bound path time must
+		// shrink monotonically across the pvm ladder on >= 3 of the 4
+		// benchmarks).
+		return experiments.RunCritpath(w, r)
 	case "predict":
 		// Opt-in only, like profile: predicted-vs-measured is a validation
 		// appendix, not one of the paper's figures, so "all" stays

@@ -11,6 +11,7 @@
 //	       [-collective auto|star|tree|butterfly|twolevel]
 //	       [-sched-workers N] [-legacy-sched]
 //	       [-trace out.json] [-profile] [-metrics] [-metrics-json out.json]
+//	       [-critpath]
 //	       file.zpl
 //	zplrun -bench swm -procs 64 -O pl -lib shmem
 //	zplrun -bench tomcatv -O pl -trace tomcatv.trace.json   # open in Perfetto
@@ -26,6 +27,7 @@ import (
 
 	"commopt/internal/collective"
 	"commopt/internal/comm"
+	"commopt/internal/critpath"
 	"commopt/internal/grid"
 	"commopt/internal/ir"
 	"commopt/internal/machine"
@@ -33,6 +35,7 @@ import (
 	"commopt/internal/report"
 	"commopt/internal/rt"
 	"commopt/internal/trace"
+	"commopt/internal/vtime"
 	"commopt/internal/zpl"
 )
 
@@ -63,6 +66,7 @@ type options struct {
 	coll        string // allreduce algorithm (auto = cost-model selection)
 	cfg         configFlags
 	tracePath   string // write Chrome trace-event JSON here ("" = off)
+	critpath    bool   // record the happens-before DAG and print the critical path
 	profile     bool   // print the per-callsite communication profile
 	metrics     bool   // print the metrics registry as text
 	metricsJSON string // write the metrics registry as JSON here ("" = off)
@@ -81,6 +85,7 @@ func main() {
 	flag.StringVar(&o.coll, "collective", "auto", "allreduce algorithm: auto, star, tree, butterfly, twolevel (auto = cheapest eligible under the cost model)")
 	flag.StringVar(&o.bench, "bench", "", "run a bundled benchmark instead of a file")
 	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON timeline (virtual time) to `file`")
+	flag.BoolVar(&o.critpath, "critpath", false, "record the happens-before DAG and print the critical-path analysis (every nanosecond attributed to a statement, callsite or hop)")
 	flag.BoolVar(&o.profile, "profile", false, "print the per-callsite communication profile")
 	flag.BoolVar(&o.metrics, "metrics", false, "print the run's metrics registry (counters and histograms)")
 	flag.StringVar(&o.metricsJSON, "metrics-json", "", "write the metrics registry as JSON to `file`")
@@ -174,6 +179,11 @@ func run(w io.Writer, o options) error {
 		rec = trace.NewRecorder()
 		cfg.Trace = rec
 	}
+	var cpr *critpath.Recorder
+	if o.critpath {
+		cpr = critpath.NewRecorder()
+		cfg.Critpath = cpr
+	}
 	res, err := rt.Run(prog, plan, cfg)
 	if err != nil {
 		return err
@@ -197,6 +207,11 @@ func run(w io.Writer, o options) error {
 		100*float64(bd.Comm)/float64(bd.Total()),
 		100*float64(bd.Wait)/float64(bd.Total()))
 
+	if cpr != nil {
+		if err := critpathReport(w, res, cpr); err != nil {
+			return err
+		}
+	}
 	if o.profile {
 		fmt.Fprintln(w)
 		profileTable(res).Render(w)
@@ -231,6 +246,72 @@ func run(w io.Writer, o options) error {
 			return fmt.Errorf("trace: %w", err)
 		}
 	}
+	return nil
+}
+
+// critpathReport analyzes the recorded happens-before DAG and prints the
+// critical path: the summary split, the top attribution contexts and the
+// longest single-processor bounding chains. The analysis is exact — the
+// printed durations sum to the simulated execution time, and the report
+// double-checks that against the Result before printing anything.
+func critpathReport(w io.Writer, res *rt.Result, cpr *critpath.Recorder) error {
+	p, err := critpath.Analyze(cpr)
+	if err != nil {
+		return err
+	}
+	if p.Finish != res.ExecTime {
+		return fmt.Errorf("critpath: path finish %v disagrees with execution time %v", p.Finish, res.ExecTime)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "-- critical path (exact): %.6f s ends on proc %d; %d hops across %d procs\n",
+		p.Finish.Seconds(), p.CritRank, p.Hops, p.Procs)
+	fmt.Fprintf(w, "--   compute %.6f s (%.1f%%), comm overhead %.6f s (%.1f%%), waiting %.6f s (%.1f%%)\n",
+		p.Compute.Seconds(), 100*float64(p.Compute)/float64(p.Finish),
+		p.Comm.Seconds(), 100*float64(p.Comm)/float64(p.Finish),
+		p.Wait.Seconds(), 100*float64(p.Wait)/float64(p.Finish))
+
+	const topK = 10
+	contribs := p.Contributions()
+	t := &report.Table{
+		Title:   "Critical-path contributors (virtual time on the bounding chain)",
+		Headers: []string{"kind", "context", "site", "ms", "% of path", "pieces"},
+	}
+	for i, c := range contribs {
+		if i >= topK {
+			break
+		}
+		kind := c.Kind.String()
+		if c.Kind == critpath.Wait {
+			kind = "wait " + c.Reason.String()
+		}
+		t.AddRow(kind, c.Label, c.Site,
+			fmt.Sprintf("%.3f", float64(c.Dur)/1e6),
+			fmt.Sprintf("%.1f", 100*float64(c.Dur)/float64(p.Finish)),
+			c.Pieces)
+	}
+	fmt.Fprintln(w)
+	t.Render(w)
+	if len(contribs) > topK {
+		var rest vtime.Duration
+		for _, c := range contribs[topK:] {
+			rest += c.Dur
+		}
+		fmt.Fprintf(w, "   (+ %d more contexts, %.3f ms)\n", len(contribs)-topK, float64(rest)/1e6)
+	}
+
+	ct := &report.Table{
+		Title:   "Longest bounding chains (before a message edge moves the path)",
+		Headers: []string{"proc", "from ms", "to ms", "dur ms", "segments"},
+	}
+	for _, ch := range p.TopChains(5) {
+		ct.AddRow(ch.Rank,
+			fmt.Sprintf("%.3f", float64(ch.Start)/1e6),
+			fmt.Sprintf("%.3f", float64(ch.End)/1e6),
+			fmt.Sprintf("%.3f", float64(ch.Dur)/1e6),
+			ch.Segs)
+	}
+	fmt.Fprintln(w)
+	ct.Render(w)
 	return nil
 }
 

@@ -261,6 +261,41 @@ func TestRunProfileFlag(t *testing.T) {
 	}
 }
 
+// The -critpath flag appends the exact critical-path analysis, and its
+// finish time agrees with the execution-time line to the digit.
+func TestRunCritpathFlag(t *testing.T) {
+	out, err := runWith(t, options{mach: "t3d", lib: "pvm", procs: 4, level: "pl",
+		critpath: true, args: []string{writeTemp(t, laplaceSrc)}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{
+		"critical path (exact):",
+		"Critical-path contributors",
+		"Longest bounding chains",
+		"compute ", "comm overhead ", "waiting ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var execS string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "-- execution time") {
+			execS = strings.Fields(line)[3]
+		}
+		if strings.Contains(line, "critical path (exact):") {
+			fields := strings.Fields(line)
+			if execS == "" || fields[4] != execS {
+				t.Errorf("critpath finish %s != execution time %s", fields[4], execS)
+			}
+		}
+	}
+	if execS == "" {
+		t.Fatalf("no execution time line:\n%s", out)
+	}
+}
+
 // The -metrics flag prints the registry; -metrics-json writes it as JSON.
 func TestRunMetricsFlags(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "metrics.json")

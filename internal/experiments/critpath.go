@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"commopt/internal/critpath"
+	"commopt/internal/machine"
+	"commopt/internal/report"
+	"commopt/internal/rt"
+)
+
+// critEntry is one critical-path cell's compute-once slot, mirroring
+// cellEntry: the once runs outside the Runner lock so independent cells
+// analyze in parallel while two requests for the same cell share one run.
+type critEntry struct {
+	once sync.Once
+	path *critpath.Path
+	err  error
+}
+
+// CritpathFor runs (or recalls) one benchmark under one experiment with
+// critical-path recording enabled and returns the analyzed path.
+// Instrumented runs are cached separately from Cell's so the figure and
+// table outputs stay the product of instrumentation-free runs. Every
+// cell re-proves the conservation invariant: the analyzed path must sum
+// exactly — to the nanosecond — to the run's simulated execution time,
+// so a table that renders at all is a table whose attribution is
+// complete.
+func (r *Runner) CritpathFor(benchName, expKey string) (*critpath.Path, error) {
+	r.mu.Lock()
+	cacheKey := benchName + "/" + expKey
+	e := r.critpaths[cacheKey]
+	if e == nil {
+		e = &critEntry{}
+		r.critpaths[cacheKey] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.path, e.err = r.runCritpath(benchName, expKey) })
+	return e.path, e.err
+}
+
+// runCritpath executes one instrumented cell and analyzes it.
+func (r *Runner) runCritpath(benchName, expKey string) (*critpath.Path, error) {
+	exp, err := ExperimentByKey(expKey)
+	if err != nil {
+		return nil, err
+	}
+	c, plan, err := r.planFor(benchName, exp)
+	if err != nil {
+		return nil, err
+	}
+	cfg := c.bench.PaperConfig
+	if r.Quick {
+		cfg = c.bench.CalibConfig
+	}
+	rec := critpath.NewRecorder()
+	rtCfg := rt.Config{
+		Machine:    machine.T3D(),
+		Library:    exp.Library,
+		Procs:      r.Procs,
+		ConfigVars: cfg,
+		Critpath:   rec,
+	}
+	if r.workers() > 1 {
+		// Same policy as Runner.runCell: spend the process-wide step
+		// budget on cell-level parallelism rather than intra-world worker
+		// contention. The recorded path is a pure function of virtual
+		// time, so it is identical at any worker count regardless.
+		rtCfg.SchedWorkers = 1
+	}
+	res, err := rt.Run(c.prog, plan, rtCfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", benchName, expKey, err)
+	}
+	p, err := critpath.Analyze(rec)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", benchName, expKey, err)
+	}
+	if p.Finish != res.ExecTime {
+		return nil, fmt.Errorf("%s/%s: critical path sums to %v but the run finished at %v — attribution is not conservative",
+			benchName, expKey, p.Finish, res.ExecTime)
+	}
+	return p, nil
+}
+
+// CritpathTable builds the critical-path decomposition of one benchmark
+// across the six experiments: where the path's nanoseconds go (statement
+// execution, communication software overhead, blocked waits), how many
+// cross-processor hops the binding chain takes, and the dominant
+// contributor. Because every cell's path sums exactly to its execution
+// time, the comm-bound column is an attribution, not an estimate: it is
+// the share of the finish time that communication is causally
+// responsible for, the quantity each optimization level attacks.
+func CritpathTable(r *Runner, benchName string) (*report.Table, error) {
+	t := &report.Table{
+		Title: fmt.Sprintf("critical path: %s at %d processors (exact attribution of the finish time)", benchName, r.Procs),
+		Headers: []string{"experiment", "time (s)", "compute (ms)", "comm (ms)", "wait (ms)",
+			"comm-bound", "hops", "procs", "dominant contributor"},
+	}
+	for _, exp := range Experiments() {
+		p, err := r.CritpathFor(benchName, exp.Key)
+		if err != nil {
+			return nil, err
+		}
+		dominant := "-"
+		if cs := p.Contributions(); len(cs) > 0 {
+			c := cs[0]
+			label := c.Label
+			if c.Kind == critpath.Wait {
+				label = "wait " + c.Reason.String()
+				if c.Label != "" {
+					label += " " + c.Label
+				}
+			}
+			if c.Site != "" {
+				label += " @ " + c.Site
+			}
+			dominant = fmt.Sprintf("%s (%s)", label, pct64(int64(c.Dur), int64(p.Finish)))
+		}
+		t.AddRow(exp.Key,
+			fmt.Sprintf("%.6f", p.Finish.Seconds()),
+			fmt.Sprintf("%.3f", float64(p.Compute)/1e6),
+			fmt.Sprintf("%.3f", float64(p.Comm)/1e6),
+			fmt.Sprintf("%.3f", float64(p.Wait)/1e6),
+			commBoundPct(p),
+			p.Hops, p.Procs, dominant)
+	}
+	return t, nil
+}
+
+// commBoundPct renders the communication-bound share of one path.
+func commBoundPct(p *critpath.Path) string {
+	if p.Finish == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(p.CommBound())/float64(p.Finish))
+}
+
+// critpathMonotone reports whether one benchmark's comm-bound path time
+// shrinks monotonically across the pvm optimization ladder baseline ->
+// rr -> cc -> pl, with a strict overall improvement.
+func critpathMonotone(r *Runner, benchName string) (bool, []string, error) {
+	ladder := []string{"baseline", "rr", "cc", "pl"}
+	var bounds []int64
+	var steps []string
+	for _, key := range ladder {
+		p, err := r.CritpathFor(benchName, key)
+		if err != nil {
+			return false, nil, err
+		}
+		bounds = append(bounds, int64(p.CommBound()))
+		steps = append(steps, fmt.Sprintf("%s %.3fms", key, float64(p.CommBound())/1e6))
+	}
+	ok := bounds[len(bounds)-1] < bounds[0]
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] > bounds[i-1] {
+			ok = false
+		}
+	}
+	return ok, steps, nil
+}
+
+// RunCritpath writes the critical-path tables of every benchmark and
+// then enforces the experiment's acceptance claim: the comm-bound share
+// of the critical path must shrink monotonically baseline -> rr -> cc ->
+// pl on at least three of the four benchmarks. A level that fails to
+// shorten the binding chain of communication it claims to optimize is a
+// regression this experiment exists to catch.
+func RunCritpath(w io.Writer, r *Runner) error {
+	benches := BenchNames()
+	// Warm the cache on a worker pool; errors surface on the ordered
+	// reads below, exactly as Runner.prefetch does for Cell.
+	n := len(benches) * len(ExpKeys())
+	if wk := r.workers(); wk < n {
+		n = wk
+	}
+	if n > 1 {
+		type job struct{ bench, key string }
+		jobs := make(chan job)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					r.CritpathFor(j.bench, j.key) //nolint:errcheck // surfaced on the ordered read
+				}
+			}()
+		}
+		for _, b := range benches {
+			for _, k := range ExpKeys() {
+				jobs <- job{b, k}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	for _, name := range benches {
+		t, err := CritpathTable(r, name)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+	}
+
+	mono := 0
+	var lines []string
+	for _, name := range benches {
+		ok, steps, err := critpathMonotone(r, name)
+		if err != nil {
+			return err
+		}
+		verdict := "shrinks monotonically"
+		if ok {
+			mono++
+		} else {
+			verdict = "NOT monotone"
+		}
+		lines = append(lines, fmt.Sprintf("  %-8s %s: %s", name, verdict, strings.Join(steps, " -> ")))
+	}
+	fmt.Fprintf(w, "comm-bound critical path across the pvm ladder (%d/%d benchmarks monotone):\n%s\n\n",
+		mono, len(benches), strings.Join(lines, "\n"))
+	if need := 3; mono < need {
+		return fmt.Errorf("experiments: comm-bound critical path shrinks monotonically baseline->pl on only %d of %d benchmarks (need %d)",
+			mono, len(benches), need)
+	}
+	return nil
+}

@@ -89,10 +89,11 @@ type Runner struct {
 	// run into the directory, named <bench>_<experiment>.trace.json.
 	TraceDir string
 
-	mu       sync.Mutex // guards the maps and compiled programs/plans
-	programs map[string]*compiled
-	cells    map[string]*cellEntry
-	profiles map[string][]rt.CallsiteProfile
+	mu        sync.Mutex // guards the maps and compiled programs/plans
+	programs  map[string]*compiled
+	cells     map[string]*cellEntry
+	profiles  map[string]profileEntry
+	critpaths map[string]*critEntry
 }
 
 // cellEntry is one cell's compute-once slot. The once runs outside the
@@ -116,7 +117,7 @@ func NewRunner(procs int) *Runner {
 	if procs == 0 {
 		procs = 64
 	}
-	return &Runner{Procs: procs, programs: map[string]*compiled{}, cells: map[string]*cellEntry{}, profiles: map[string][]rt.CallsiteProfile{}}
+	return &Runner{Procs: procs, programs: map[string]*compiled{}, cells: map[string]*cellEntry{}, profiles: map[string]profileEntry{}, critpaths: map[string]*critEntry{}}
 }
 
 // workers resolves the effective worker count.

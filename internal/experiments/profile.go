@@ -11,24 +11,31 @@ import (
 	"commopt/internal/rt"
 )
 
-// ProfileRows runs (or recalls) one benchmark under one experiment with
-// per-callsite profiling enabled and returns the profile rows. Profiled
-// runs are cached separately from Cell's so that the figure and table
-// outputs are produced by instrumentation-free runs.
-func (r *Runner) ProfileRows(benchName, expKey string) ([]rt.CallsiteProfile, error) {
+// profileEntry caches one instrumented run: the per-callsite rows plus
+// the scheduler's observability counters from the same run.
+type profileEntry struct {
+	rows  []rt.CallsiteProfile
+	sched *rt.SchedStats
+}
+
+// profileFor runs (or recalls) one benchmark under one experiment with
+// per-callsite profiling enabled. Profiled runs are cached separately
+// from Cell's so that the figure and table outputs are produced by
+// instrumentation-free runs.
+func (r *Runner) profileFor(benchName, expKey string) (profileEntry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cacheKey := benchName + "/" + expKey
-	if rows, ok := r.profiles[cacheKey]; ok {
-		return rows, nil
+	if e, ok := r.profiles[cacheKey]; ok {
+		return e, nil
 	}
 	exp, err := ExperimentByKey(expKey)
 	if err != nil {
-		return nil, err
+		return profileEntry{}, err
 	}
 	c, err := r.compiledFor(benchName)
 	if err != nil {
-		return nil, err
+		return profileEntry{}, err
 	}
 	optKey := exp.Options.String()
 	plan, ok := c.plans[optKey]
@@ -48,10 +55,40 @@ func (r *Runner) ProfileRows(benchName, expKey string) ([]rt.CallsiteProfile, er
 		Profile:    true,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", benchName, expKey, err)
+		return profileEntry{}, fmt.Errorf("%s/%s: %w", benchName, expKey, err)
 	}
-	r.profiles[cacheKey] = res.Profile
-	return res.Profile, nil
+	e := profileEntry{rows: res.Profile, sched: res.Sched}
+	r.profiles[cacheKey] = e
+	return e, nil
+}
+
+// ProfileRows returns the per-callsite profile rows of one benchmark
+// under one experiment.
+func (r *Runner) ProfileRows(benchName, expKey string) ([]rt.CallsiteProfile, error) {
+	e, err := r.profileFor(benchName, expKey)
+	return e.rows, err
+}
+
+// schedNote summarizes one run's scheduler counters for a table note:
+// how many host workers stepped how many processor turns, why processors
+// parked, and how deep the runnable queue and mailboxes ever got.
+func schedNote(st *rt.SchedStats) string {
+	if st == nil {
+		return ""
+	}
+	var parks []string
+	for i, n := range st.Parks {
+		if i == 0 || n == 0 {
+			continue
+		}
+		parks = append(parks, fmt.Sprintf("%s %d", st.ParkReason(i), n))
+	}
+	parkCol := "none"
+	if len(parks) > 0 {
+		parkCol = strings.Join(parks, ", ")
+	}
+	return fmt.Sprintf("scheduler: %d worker(s), %d proc steps; parks: %s; runq high water %d, mailbox high water %d",
+		st.Workers, st.TotalSteps(), parkCol, st.RunqHiWater, st.MboxHiWater)
 }
 
 // ProfileAppendix builds the "where did the time go" table for one
@@ -59,12 +96,14 @@ func (r *Runner) ProfileRows(benchName, expKey string) ([]rt.CallsiteProfile, er
 // source with the messages, bytes, communication overhead and blocking
 // wait attributed to it across all processors.
 func ProfileAppendix(r *Runner, benchName, expKey string) (*report.Table, error) {
-	rows, err := r.ProfileRows(benchName, expKey)
+	e, err := r.profileFor(benchName, expKey)
 	if err != nil {
 		return nil, err
 	}
+	rows := e.rows
 	t := &report.Table{
 		Title:   fmt.Sprintf("Where did the time go: %s under %s (all processors, virtual time)", benchName, expKey),
+		Note:    schedNote(e.sched),
 		Headers: []string{"callsite", "transfer", "hoisted", "SR calls", "messages", "KB", "comm ms", "wait ms", "also covers"},
 	}
 	for _, row := range rows {

@@ -23,6 +23,24 @@ type Counter struct {
 // Add increments the counter.
 func (c *Counter) Add(n int64) { c.N += n }
 
+// Gauge is a named maximum: Observe keeps the largest value seen. The
+// runtime uses gauges for high-water marks (runnable-queue depth,
+// mailbox depth), which under Merge take the max across processors
+// where counters would wrongly sum.
+type Gauge struct {
+	Name string
+	V    int64
+	set  bool
+}
+
+// Observe records one value, keeping the maximum.
+func (g *Gauge) Observe(v int64) {
+	if !g.set || v > g.V {
+		g.V = v
+		g.set = true
+	}
+}
+
 // Histogram is a fixed-bucket distribution. Bounds are inclusive upper
 // bounds in ascending order; one implicit overflow bucket catches values
 // above the last bound. Sum, Min and Max are exact regardless of
@@ -82,15 +100,17 @@ func ExpBounds(lo, factor int64, n int) []int64 {
 	return out
 }
 
-// Registry holds one run's (or one processor's) counters and histograms.
+// Registry holds one run's (or one processor's) counters, gauges and
+// histograms.
 type Registry struct {
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}, hists: map[string]*Histogram{}}
 }
 
 // Counter returns the named counter, creating it at zero on first use.
@@ -101,6 +121,16 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it unset on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{Name: name}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given unit
@@ -123,11 +153,16 @@ func (r *Registry) Histogram(name, unit string, bounds []int64) *Histogram {
 	return h
 }
 
-// Merge folds another registry into r: counters add, histograms add
-// bucket-wise (their bounds must match).
+// Merge folds another registry into r: counters add, gauges take the
+// max, histograms add bucket-wise (their bounds must match).
 func (r *Registry) Merge(o *Registry) {
 	for name, c := range o.counters {
 		r.Counter(name).Add(c.N)
+	}
+	for name, g := range o.gauges {
+		if g.set {
+			r.Gauge(name).Observe(g.V)
+		}
 	}
 	for name, h := range o.hists {
 		dst := r.Histogram(name, h.Unit, h.bounds)
@@ -165,6 +200,16 @@ func (r *Registry) Counters() []*Counter {
 	return out
 }
 
+// Gauges returns every gauge sorted by name.
+func (r *Registry) Gauges() []*Gauge {
+	out := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Histograms returns every histogram sorted by name.
 func (r *Registry) Histograms() []*Histogram {
 	out := make([]*Histogram, 0, len(r.hists))
@@ -186,6 +231,15 @@ func (r *Registry) Text(w io.Writer) {
 	}
 	for _, c := range r.Counters() {
 		fmt.Fprintf(w, "counter  %-*s  %d\n", width, c.Name, c.N)
+	}
+	gwidth := 0
+	for _, g := range r.Gauges() {
+		if len(g.Name) > gwidth {
+			gwidth = len(g.Name)
+		}
+	}
+	for _, g := range r.Gauges() {
+		fmt.Fprintf(w, "gauge    %-*s  %d\n", gwidth, g.Name, g.V)
 	}
 	for _, h := range r.Histograms() {
 		fmt.Fprintf(w, "hist     %s (%s): count %d, sum %d, min %d, max %d\n",
@@ -223,8 +277,14 @@ type jsonHistogram struct {
 	Buckets []jsonBucket `json:"buckets"`
 }
 
+type jsonGauge struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
 type jsonRegistry struct {
 	Counters   []jsonCounter   `json:"counters"`
+	Gauges     []jsonGauge     `json:"gauges,omitempty"`
 	Histograms []jsonHistogram `json:"histograms"`
 }
 
@@ -233,6 +293,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	out := jsonRegistry{Counters: []jsonCounter{}, Histograms: []jsonHistogram{}}
 	for _, c := range r.Counters() {
 		out.Counters = append(out.Counters, jsonCounter{Name: c.Name, Value: c.N})
+	}
+	for _, g := range r.Gauges() {
+		out.Gauges = append(out.Gauges, jsonGauge{Name: g.Name, Value: g.V})
 	}
 	for _, h := range r.Histograms() {
 		jh := jsonHistogram{Name: h.Name, Unit: h.Unit, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"commopt/internal/collective"
+	"commopt/internal/critpath"
 	"commopt/internal/ir"
 	"commopt/internal/trace"
 	"commopt/internal/vtime"
@@ -40,6 +41,7 @@ type collMsg struct {
 	src   int
 	start int
 	val   float64
+	sent  vtime.Time // sender's clock when the hop departed (critical-path edge)
 	t     vtime.Time
 }
 
@@ -112,7 +114,24 @@ func (p *proc) allreduce(node *ir.Reduce, val float64) float64 {
 		return w.foldOf(seq, op)
 	}
 
+	// Critical-path attribution: each hop gets its own context naming the
+	// step, tagged with the reduction's source position; the surrounding
+	// statement context is restored after the last hop.
+	var csite, prevLabel, prevSite string
+	cplFirst := true
+	if p.cpl != nil {
+		if c := w.plan.CollectiveFor(node); c != nil {
+			csite = c.Pos.String()
+		}
+	}
+
 	for _, st := range w.collSteps[p.rank] {
+		if p.cpl != nil {
+			pl, ps := p.cpl.Context(collStepName(st), csite)
+			if cplFirst {
+				prevLabel, prevSite, cplFirst = pl, ps, false
+			}
+		}
 		bytes := collective.ValBytes * st.Count
 		if st.Kind == collective.Send {
 			m := collMsg{seq: seq, src: p.rank}
@@ -129,6 +148,7 @@ func (p *proc) allreduce(node *ir.Reduce, val float64) float64 {
 			}
 			start := p.clock
 			p.chargeComm(collective.SendCost(w.lib, st.Count))
+			m.sent = p.clock
 			m.t = p.clock.Add(collective.WireDelay(w.lib, st.Count))
 			p.messages++
 			p.bytesSent += int64(bytes)
@@ -137,13 +157,13 @@ func (p *proc) allreduce(node *ir.Reduce, val float64) float64 {
 			}
 			if p.tr != nil {
 				p.tr.Add(trace.Event{Kind: trace.KindReduce, Start: start, Dur: p.clock.Sub(start),
-					Name: collStepName(st), A0: int64(st.Level), A1: int64(bytes)})
+					Name: collStepName(st), A0: int64(st.Level), A1: int64(bytes), A2: int64(st.Peer)})
 			}
 			p.sendColl(st.Peer, m)
 		} else {
 			start := p.clock
 			m := p.recvColl(seq, st.Peer)
-			p.waitFor(m.t, "wait reduce")
+			p.waitEdge(m.t, "wait reduce", critpath.Reduce, st.Peer, m.sent)
 			p.chargeComm(collective.RecvCost(w.lib, st.Count))
 			if st.Bcast {
 				result, haveResult = m.val, true
@@ -160,9 +180,12 @@ func (p *proc) allreduce(node *ir.Reduce, val float64) float64 {
 			}
 			if p.tr != nil {
 				p.tr.Add(trace.Event{Kind: trace.KindReduce, Start: start, Dur: p.clock.Sub(start),
-					Name: collStepName(st), A0: int64(st.Level), A1: int64(bytes)})
+					Name: collStepName(st), A0: int64(st.Level), A1: int64(bytes), A2: int64(st.Peer)})
 			}
 		}
+	}
+	if p.cpl != nil && !cplFirst {
+		p.cpl.Context(prevLabel, prevSite)
 	}
 	if !haveResult {
 		// Butterfly: no broadcast phase — every rank holds the full

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"commopt/internal/comm"
+	"commopt/internal/critpath"
 	"commopt/internal/grid"
 	"commopt/internal/machine"
 	"commopt/internal/trace"
@@ -26,6 +27,7 @@ import (
 // pooled path allocates nothing.
 type dataMsg struct {
 	tag   int
+	sent  vtime.Time // sender's clock when the message departed (critical-path edge)
 	avail vtime.Time // earliest time the data is present at the destination
 	bytes int
 
@@ -132,14 +134,21 @@ func (p *proc) state(t *comm.Transfer) *commSched {
 // clock's communication and wait deltas (and any messages sent) to the
 // transfer's source callsites, and records the call as a trace span.
 func (p *proc) execCall(c comm.Call) {
-	if p.tr == nil && p.prof == nil && p.met == nil {
+	if p.tr == nil && p.prof == nil && p.met == nil && p.cpl == nil {
 		p.dispatchCall(c)
 		return
+	}
+	var prevLabel, prevSite string
+	if p.cpl != nil {
+		prevLabel, prevSite = p.cpl.Context(p.callLabel(c.Kind, c.T), p.callSite(c.T))
 	}
 	start := p.clock
 	comm0, wait0 := p.commT, p.waitT
 	msgs0, bytes0 := p.messages, p.bytesSent
 	p.dispatchCall(c)
+	if p.cpl != nil {
+		p.cpl.Context(prevLabel, prevSite)
+	}
 	if p.met != nil {
 		p.met.calls[c.Kind]++
 	}
@@ -229,7 +238,9 @@ func (p *proc) execSR(t *comm.Transfer, st *commSched, lib *machine.Lib) {
 			if tok.m != nil && len(p.sendPool[pr.slot]) < poolCap {
 				p.sendPool[pr.slot] = append(p.sendPool[pr.slot], tok.m)
 			}
-			p.waitFor(tok.t, "wait ready")
+			// The token's timestamp is the destination's clock when it
+			// posted ready — the departure time of the unblocking event.
+			p.waitEdge(tok.t, "wait ready", critpath.Ready, pr.peer, tok.t)
 		}
 		if pr.bytes > 0 {
 			p.chargeComm(lib.SRCost + machine.PerByteDur(lib.SRPerByte, pr.bytes))
@@ -251,6 +262,7 @@ func (p *proc) send(t *comm.Transfer, pr *packPair, lib *machine.Lib) {
 		m = &dataMsg{
 			tag:     t.ID,
 			bytes:   pr.bytes,
+			sent:    p.clock,
 			avail:   avail,
 			rects:   pr.rects,
 			payload: make([][]float64, len(pr.rects)),
@@ -265,6 +277,7 @@ func (p *proc) send(t *comm.Transfer, pr *packPair, lib *machine.Lib) {
 		m = p.takeMsg(pr.slot, pr.doubles)
 		m.tag = t.ID
 		m.bytes = pr.bytes
+		m.sent = p.clock
 		m.avail = avail
 		m.flat = m.flat[:pr.doubles]
 		pr.pack(m.flat)
@@ -276,7 +289,7 @@ func (p *proc) send(t *comm.Transfer, pr *packPair, lib *machine.Lib) {
 			p.met.msgSize.Observe(int64(pr.bytes))
 		}
 		if p.tr != nil {
-			p.tr.Add(trace.Event{Kind: trace.KindSend, Start: p.clock, Name: "send", A0: int64(pr.peer), A1: int64(pr.bytes)})
+			p.tr.Add(trace.Event{Kind: trace.KindSend, Start: p.clock, Name: "send", A0: int64(pr.peer), A1: int64(pr.bytes), A2: int64(t.ID)})
 		}
 	}
 	p.sendData(pr, m)
@@ -350,11 +363,11 @@ func (p *proc) execDN(t *comm.Transfer, st *commSched, lib *machine.Lib) {
 		if m.bytes != pr.bytes {
 			panic(fmt.Sprintf("rt: message size mismatch from %d: got %d want %d bytes", pr.peer, m.bytes, pr.bytes))
 		}
-		p.waitFor(m.avail, "wait data")
+		p.waitEdge(m.avail, "wait data", critpath.Data, pr.peer, m.sent)
 		if pr.bytes > 0 {
 			p.chargeComm(lib.DNCost + machine.PerByteDur(lib.DNPerByte, pr.bytes))
 			if p.tr != nil {
-				p.tr.Add(trace.Event{Kind: trace.KindRecv, Start: p.clock, Name: "recv", A0: int64(pr.peer), A1: int64(pr.bytes)})
+				p.tr.Add(trace.Event{Kind: trace.KindRecv, Start: p.clock, Name: "recv", A0: int64(pr.peer), A1: int64(pr.bytes), A2: int64(t.ID)})
 			}
 		} else {
 			p.chargeComm(lib.SynchEmptyCost)

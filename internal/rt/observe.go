@@ -197,6 +197,18 @@ func (w *world) gatherMetrics() *metrics.Registry {
 		reg.Counter("stmts_interp").Add(p.met.stmtsByEn[2])
 	}
 	reg.Counter("dynamic_transfers").Add(int64(w.procs[0].dynTransfers))
+	if st := w.schedStats; st != nil {
+		reg.Counter("sched_workers").Add(int64(st.Workers))
+		reg.Counter("sched_steps").Add(st.TotalSteps())
+		for r, n := range st.Parks {
+			if waitReason(r) == waitNone {
+				continue
+			}
+			reg.Counter("sched_parks_" + strings.ReplaceAll(waitReason(r).String(), " ", "_")).Add(n)
+		}
+		reg.Gauge("sched_runq_hiwater").Observe(int64(st.RunqHiWater))
+		reg.Gauge("sched_mbox_hiwater").Observe(int64(st.MboxHiWater))
+	}
 	return reg
 }
 
@@ -225,6 +237,23 @@ func (p *proc) stmtLabel(s ir.Stmt) string {
 	}
 	p.stmtLabels[s] = l
 	return l
+}
+
+// callSite renders a transfer's primary callsite position for critical-
+// path attribution, cached per transfer.
+func (p *proc) callSite(t *comm.Transfer) string {
+	if s, ok := p.callSites[t]; ok {
+		return s
+	}
+	var s string
+	if len(t.Sites) > 0 {
+		s = t.Sites[0].Pos.String()
+	}
+	if p.callSites == nil {
+		p.callSites = map[*comm.Transfer]string{}
+	}
+	p.callSites[t] = s
+	return s
 }
 
 // callLabel names an IRONMAN call event, cached per transfer.

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"commopt/internal/comm"
+	"commopt/internal/critpath"
 	"commopt/internal/field"
 	"commopt/internal/grid"
 	"commopt/internal/ir"
@@ -103,9 +104,15 @@ type proc struct {
 	prof       map[*comm.Transfer]*profAcc   // per-callsite communication profile
 	cprof      map[*comm.Collective]*profAcc // per-callsite collective profile
 	met        *procMetrics                  // metric instruments
+	cpl        *critpath.Log                 // happens-before segment log
 	engine     int64                         // trace engine code of the last array statement
 	stmtLabels map[ir.Stmt]string
 	callLabels map[*comm.Transfer][4]string
+	callSites  map[*comm.Transfer]string
+
+	// Scheduler observability (read at gather; parks is written only by
+	// this processor's own coroutine, mboxHi under mb.mu by deliverers).
+	parks [4]int64 // park executions by waitReason
 }
 
 // jittered scales a compute cost by the machine's jitter factor, drawn
@@ -225,6 +232,9 @@ func (p *proc) allocate() {
 
 // charge advances the virtual clock for compute-side work.
 func (p *proc) charge(d vtime.Duration) {
+	if p.cpl != nil {
+		p.cpl.Compute(p.clock, d)
+	}
 	p.clock = p.clock.Add(d)
 	p.computeT += d
 }
@@ -232,6 +242,9 @@ func (p *proc) charge(d vtime.Duration) {
 // chargeComm advances the virtual clock for communication software
 // overhead (the "exposed" cost of the paper).
 func (p *proc) chargeComm(d vtime.Duration) {
+	if p.cpl != nil {
+		p.cpl.Comm(p.clock, d)
+	}
 	p.clock = p.clock.Add(d)
 	p.commT += d
 }
@@ -410,13 +423,20 @@ func (p *proc) block(stmts []ir.Stmt) {
 }
 
 func (p *proc) stmt(s ir.Stmt) {
-	if p.tr == nil && p.met == nil {
+	if p.tr == nil && p.met == nil && p.cpl == nil {
 		p.stmtExec(s)
 		return
+	}
+	var prevLabel, prevSite string
+	if p.cpl != nil {
+		prevLabel, prevSite = p.cpl.Context(p.stmtLabel(s), "")
 	}
 	start := p.clock
 	p.engine = trace.EngineScalar
 	p.stmtExec(s)
+	if p.cpl != nil {
+		p.cpl.Context(prevLabel, prevSite)
+	}
 	d := p.clock.Sub(start)
 	if p.met != nil {
 		p.met.stmtDur.Observe(int64(d))
@@ -460,6 +480,23 @@ func (p *proc) waitFor(t vtime.Time, what string) {
 	}
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindWait, Start: start, Dur: d, Name: what})
+	}
+}
+
+// waitEdge is waitFor plus the happens-before edge for the critical-path
+// log: the wait was ended by a message from rank `from` that departed its
+// sender at virtual time sendT. The runtime's three blocking points map
+// their unblocking events here — data messages (execDN), rendezvous
+// ready tokens (execSR) and collective hops (allreduce).
+func (p *proc) waitEdge(t vtime.Time, what string, reason critpath.Reason, from int, sendT vtime.Time) {
+	if p.cpl == nil {
+		p.waitFor(t, what)
+		return
+	}
+	start := p.clock
+	p.waitFor(t, what)
+	if d := p.clock.Sub(start); d > 0 {
+		p.cpl.Wait(start, d, reason, from, sendT)
 	}
 }
 

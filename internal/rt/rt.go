@@ -19,6 +19,7 @@ import (
 
 	"commopt/internal/collective"
 	"commopt/internal/comm"
+	"commopt/internal/critpath"
 	"commopt/internal/field"
 	"commopt/internal/grid"
 	"commopt/internal/ir"
@@ -93,6 +94,15 @@ type Config struct {
 	// counters plus fixed-bucket histograms of message sizes, wait
 	// durations and statement times.
 	Metrics bool
+
+	// Critpath, when non-nil, records the run's happens-before DAG in
+	// virtual time into the recorder's per-processor segment logs: every
+	// clock advance tagged with its attribution context, every blocking
+	// wait with the message edge that ended it. Pass the finished
+	// recorder to critpath.Analyze to extract the critical path.
+	// Recording never changes simulated results; when nil, the fast path
+	// is a single pointer check per clock advance.
+	Critpath *critpath.Recorder
 }
 
 // Result reports one run's outcome.
@@ -134,6 +144,11 @@ type Result struct {
 	// Metrics is the run's merged metrics registry. Nil unless
 	// Config.Metrics was set.
 	Metrics *metrics.Registry
+
+	// Sched reports the M:N scheduler's observability counters: per-
+	// worker step counts, park events by reason, and the runnable-queue
+	// and mailbox high-water marks. Nil in goroutine-oracle mode.
+	Sched *SchedStats
 
 	Mesh   grid.Mesh
 	arrays map[string]*Dense
@@ -235,8 +250,9 @@ type world struct {
 	// processors share it without locks.
 	segs map[*ir.Stmt][]comm.Segment
 
-	procs []*proc
-	sched *scheduler // M:N scheduler state; nil in goroutine-oracle mode
+	procs      []*proc
+	sched      *scheduler  // M:N scheduler state; nil in goroutine-oracle mode
+	schedStats *SchedStats // counters folded at the end of runSched
 
 	// stats collects each processor's contribution as its body completes.
 	// Append order follows completion order — which under the scheduler
@@ -533,6 +549,12 @@ func (w *world) setup(cfg Config) error {
 			p.met = newProcMetrics()
 		}
 	}
+	if cfg.Critpath != nil {
+		cfg.Critpath.Init(w.mesh.Size())
+		for _, p := range w.procs {
+			p.cpl = cfg.Critpath.Log(p.rank)
+		}
+	}
 	return nil
 }
 
@@ -643,6 +665,7 @@ func (w *world) gather() *Result {
 	res.Output = w.procs[0].output.String()
 	res.Profile = w.gatherProfile()
 	res.Metrics = w.gatherMetrics()
+	res.Sched = w.schedStats
 
 	for _, a := range w.prog.Arrays {
 		reg := w.regionVals[a.Region.ID]

@@ -94,6 +94,13 @@ type mbox struct {
 	coll       map[uint64]collMsg
 	collDirect collMsg
 	collOk     bool
+
+	// hi is the high-water depth of any single inbox queue (one slot's
+	// data FIFO, one slot's token FIFO, or the keyed collective inbox) —
+	// how far ahead a peer ever ran of this processor's consumption.
+	// Written by deliverers under mu, folded into SchedStats at the end
+	// of the run.
+	hi int
 }
 
 // scheduler runs one world's processors on a bounded worker pool.
@@ -107,6 +114,42 @@ type scheduler struct {
 	running int // processors currently being stepped by a worker
 	live    int // processors whose body has not completed
 	stop    bool
+	runqHi  int // high-water runnable-queue depth (under mu)
+}
+
+// SchedStats reports the M:N scheduler's observability counters for one
+// run (Result.Sched; nil in goroutine-oracle mode). The counters are
+// collected unconditionally: every increment sits on a park or delivery
+// path that already holds the relevant mutex, never on a clock-charge
+// fast path.
+type SchedStats struct {
+	Workers     int      // worker pool size the run actually used
+	Steps       []int64  // processor steps executed by each worker
+	Parks       [4]int64 // park events indexed by waitReason (0 unused)
+	RunqHiWater int      // deepest the runnable queue ever got
+	MboxHiWater int      // deepest any single mailbox queue ever got
+}
+
+// TotalSteps sums the per-worker step counts.
+func (s *SchedStats) TotalSteps() int64 {
+	var n int64
+	for _, v := range s.Steps {
+		n += v
+	}
+	return n
+}
+
+// ParkReason names one index of Parks ("data", "ready token",
+// "reduction"); index 0 is the unused "nothing" slot.
+func (s *SchedStats) ParkReason(i int) string { return waitReason(i).String() }
+
+// TotalParks sums the park events across wait reasons.
+func (s *SchedStats) TotalParks() int64 {
+	var n int64
+	for _, v := range s.Parks {
+		n += v
+	}
+	return n
 }
 
 // stepBudget is the process-wide admission controller: a worker holds one
@@ -165,12 +208,14 @@ func (w *world) runSched(workers int, body func(p *proc)) {
 		s.runq = append(s.runq, p)
 		go p.coroutine(body)
 	}
+	s.runqHi = len(s.runq)
 
 	budget := budgetTokens()
+	steps := make([]int64, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
 			held := false
 			for {
@@ -191,9 +236,10 @@ func (w *world) runSched(workers int, body func(p *proc)) {
 					held = true
 				}
 				done := s.step(p)
+				steps[wi]++
 				s.stepped(done)
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 
@@ -210,6 +256,19 @@ func (w *world) runSched(workers int, body func(p *proc)) {
 			<-p.yield
 		}
 	}
+
+	// Fold the run's scheduler counters. No worker or processor is live,
+	// so the per-proc fields are quiescent.
+	st := &SchedStats{Workers: workers, Steps: steps, RunqHiWater: s.runqHi}
+	for _, p := range w.procs {
+		for r, n := range p.parks {
+			st.Parks[r] += n
+		}
+		if p.mb.hi > st.MboxHiWater {
+			st.MboxHiWater = p.mb.hi
+		}
+	}
+	w.schedStats = st
 }
 
 // popLocked removes and claims the runq head. Caller holds s.mu and has
@@ -313,6 +372,9 @@ func (s *scheduler) stepped(done bool) {
 func (s *scheduler) enqueue(p *proc) {
 	s.mu.Lock()
 	s.runq = append(s.runq, p)
+	if d := len(s.runq) - s.head; d > s.runqHi {
+		s.runqHi = d
+	}
 	s.cond.Signal()
 	s.mu.Unlock()
 }
@@ -396,6 +458,7 @@ func (p *proc) parkLocked() {
 // park sets the wait reason and parks. Callers loop: re-lock, re-check,
 // park again on spurious wakeup.
 func (p *proc) park(reason waitReason, slot int) {
+	p.parks[reason]++
 	p.mb.state = stateParked
 	p.mb.wait = reason
 	p.mb.waitSlot = slot
@@ -424,6 +487,9 @@ func (mb *mbox) wakeLocked(reason waitReason, slot int) bool {
 func (p *proc) deliverData(dst *proc, slot int, m *dataMsg) {
 	dst.mb.mu.Lock()
 	dst.mb.data[slot] = append(dst.mb.data[slot], m)
+	if d := len(dst.mb.data[slot]) - dst.mb.dataHead[slot]; d > dst.mb.hi {
+		dst.mb.hi = d
+	}
 	wake := dst.mb.wakeLocked(waitData, slot)
 	dst.mb.mu.Unlock()
 	if wake {
@@ -435,6 +501,9 @@ func (p *proc) deliverData(dst *proc, slot int, m *dataMsg) {
 func (p *proc) deliverTok(dst *proc, slot int, tok readyTok) {
 	dst.mb.mu.Lock()
 	dst.mb.toks[slot] = append(dst.mb.toks[slot], tok)
+	if d := len(dst.mb.toks[slot]) - dst.mb.toksHead[slot]; d > dst.mb.hi {
+		dst.mb.hi = d
+	}
 	wake := dst.mb.wakeLocked(waitReady, slot)
 	dst.mb.mu.Unlock()
 	if wake {
@@ -482,6 +551,13 @@ func (p *proc) deliverColl(dst *proc, key uint64, m collMsg) {
 		panic(fmt.Sprintf("rt: proc %d: duplicate reduction message seq %d from proc %d", dst.rank, m.seq, m.src))
 	}
 	dst.mb.coll[key] = m
+	d := len(dst.mb.coll)
+	if dst.mb.collOk {
+		d++
+	}
+	if d > dst.mb.hi {
+		dst.mb.hi = d
+	}
 	dst.mb.mu.Unlock()
 }
 
@@ -544,6 +620,7 @@ func (p *proc) nextColl(key uint64) collMsg {
 			p.mb.mu.Unlock()
 			return m
 		}
+		p.parks[waitRed]++
 		p.mb.state = stateParked
 		p.mb.wait = waitRed
 		p.mb.waitKey = key

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"commopt/internal/comm"
+	"commopt/internal/critpath"
 	"commopt/internal/ir"
 	"commopt/internal/machine"
 	"commopt/internal/trace"
@@ -37,9 +38,10 @@ end;
 `
 
 // benchObserved runs traceBenchSrc with the given observability settings
-// applied to the base config. withTrace allocates a fresh recorder per
-// iteration, matching how a traced run is actually invoked.
-func benchObserved(b *testing.B, withTrace, profile, metrics bool) {
+// applied to the base config. withTrace and critpath allocate a fresh
+// recorder per iteration, matching how an instrumented run is actually
+// invoked.
+func benchObserved(b *testing.B, withTrace, profile, metrics, cpath bool) {
 	b.Helper()
 	ast, err := zpl.Parse(traceBenchSrc)
 	if err != nil {
@@ -57,6 +59,9 @@ func benchObserved(b *testing.B, withTrace, profile, metrics bool) {
 		if withTrace {
 			cfg.Trace = trace.NewRecorder()
 		}
+		if cpath {
+			cfg.Critpath = critpath.NewRecorder()
+		}
 		if _, err := Run(prog, plan, cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -66,27 +71,32 @@ func benchObserved(b *testing.B, withTrace, profile, metrics bool) {
 // BenchmarkTraceOff is the disabled fast path: every instrumentation
 // point reduces to a nil pointer check. BENCH_trace.json snapshots its
 // cost next to the enabled variants.
-func BenchmarkTraceOff(b *testing.B) { benchObserved(b, false, false, false) }
+func BenchmarkTraceOff(b *testing.B) { benchObserved(b, false, false, false, false) }
 
 // BenchmarkTraceOn records every event kind into per-processor rings.
-func BenchmarkTraceOn(b *testing.B) { benchObserved(b, true, false, false) }
+func BenchmarkTraceOn(b *testing.B) { benchObserved(b, true, false, false, false) }
 
 // BenchmarkProfileOn accumulates the per-callsite profile only.
-func BenchmarkProfileOn(b *testing.B) { benchObserved(b, false, true, false) }
+func BenchmarkProfileOn(b *testing.B) { benchObserved(b, false, true, false, false) }
 
 // BenchmarkMetricsOn feeds the per-processor metric registries only.
-func BenchmarkMetricsOn(b *testing.B) { benchObserved(b, false, false, true) }
+func BenchmarkMetricsOn(b *testing.B) { benchObserved(b, false, false, true, false) }
+
+// BenchmarkCritpathOn records the happens-before log for the exact
+// critical-path analyzer only.
+func BenchmarkCritpathOn(b *testing.B) { benchObserved(b, false, false, false, true) }
 
 // traceBenchReport is the wire form of BENCH_trace.json.
 type traceBenchReport struct {
-	Benchmark   string  `json:"benchmark"`
-	Grid        string  `json:"grid"`
-	Procs       int     `json:"procs"`
-	OffNsOp     int64   `json:"off_ns_per_op"`
-	OnNsOp      int64   `json:"on_ns_per_op"`
-	ProfileNsOp int64   `json:"profile_ns_per_op"`
-	MetricsNsOp int64   `json:"metrics_ns_per_op"`
-	OnOverOff   float64 `json:"on_over_off"`
+	Benchmark    string  `json:"benchmark"`
+	Grid         string  `json:"grid"`
+	Procs        int     `json:"procs"`
+	OffNsOp      int64   `json:"off_ns_per_op"`
+	OnNsOp       int64   `json:"on_ns_per_op"`
+	ProfileNsOp  int64   `json:"profile_ns_per_op"`
+	MetricsNsOp  int64   `json:"metrics_ns_per_op"`
+	CritpathNsOp int64   `json:"critpath_ns_per_op"`
+	OnOverOff    float64 `json:"on_over_off"`
 }
 
 // TestEmitTraceBenchJSON regenerates BENCH_trace.json, the checked-in
@@ -103,11 +113,13 @@ func TestEmitTraceBenchJSON(t *testing.T) {
 	on := testing.Benchmark(BenchmarkTraceOn)
 	prof := testing.Benchmark(BenchmarkProfileOn)
 	met := testing.Benchmark(BenchmarkMetricsOn)
+	cpath := testing.Benchmark(BenchmarkCritpathOn)
 	report := traceBenchReport{
 		Benchmark: "BenchmarkTrace", Grid: "32x32, 8 iterations", Procs: 4,
 		OffNsOp: off.NsPerOp(), OnNsOp: on.NsPerOp(),
 		ProfileNsOp: prof.NsPerOp(), MetricsNsOp: met.NsPerOp(),
-		OnOverOff: float64(on.NsPerOp()) / float64(off.NsPerOp()),
+		CritpathNsOp: cpath.NsPerOp(),
+		OnOverOff:    float64(on.NsPerOp()) / float64(off.NsPerOp()),
 	}
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -19,7 +19,77 @@ type chromeEvent struct {
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    int            `json:"id,omitempty"` // flow binding; ids start at 1
+	BP    string         `json:"bp,omitempty"` // "e": bind flow end to the enclosing slice
 	Args  map[string]any `json:"args,omitempty"`
+}
+
+// flowKey identifies one ordered message stream: every send and receive
+// of one transfer tag between one directed processor pair. Within a
+// stream, messages are consumed in the order they were sent (the mailbox
+// FIFO preserves per-tag order), so the k-th retained send pairs with
+// the k-th retained receive.
+type flowKey struct {
+	src, dst, tag int64
+}
+
+// flowRef marks one sorted event as an endpoint of flow `id`.
+type flowRef struct {
+	id     int
+	finish bool
+}
+
+// matchFlows pairs every retained send with its retained receive and
+// assigns deterministic sequential flow ids. The ring buffers evict the
+// oldest events first, so each stream's retained sends and receives are
+// suffixes of the full stream and matching aligns them from the tail;
+// the unmatched prefix (whose partners were evicted) gets no flow. The
+// result maps (rank, sorted-event index) to the endpoint's flow id.
+func matchFlows(sorted [][]Event) map[[2]int]flowRef {
+	sends := map[flowKey][][2]int{}
+	recvs := map[flowKey][][2]int{}
+	keys := []flowKey{}
+	for rank, events := range sorted {
+		for i, e := range events {
+			switch e.Kind {
+			case KindSend:
+				k := flowKey{src: int64(rank), dst: e.A0, tag: e.A2}
+				if len(sends[k]) == 0 {
+					keys = append(keys, k)
+				}
+				sends[k] = append(sends[k], [2]int{rank, i})
+			case KindRecv:
+				k := flowKey{src: e.A0, dst: int64(rank), tag: e.A2}
+				recvs[k] = append(recvs[k], [2]int{rank, i})
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.tag < b.tag
+	})
+	out := map[[2]int]flowRef{}
+	id := 0
+	for _, k := range keys {
+		s, r := sends[k], recvs[k]
+		n := len(s)
+		if len(r) < n {
+			n = len(r)
+		}
+		s, r = s[len(s)-n:], r[len(r)-n:]
+		for j := 0; j < n; j++ {
+			id++
+			out[s[j]] = flowRef{id: id}
+			out[r[j]] = flowRef{id: id, finish: true}
+		}
+	}
+	return out
 }
 
 // callKindNames maps a KindCall event's A0 to the IRONMAN call name; it
@@ -29,8 +99,10 @@ var callKindNames = [...]string{"DR", "SR", "DN", "SV"}
 // WriteChrome renders a finished recording as Chrome trace-event JSON
 // (the object form, loadable in Perfetto and chrome://tracing): one
 // timeline row per virtual processor (tid = rank), spans for IRONMAN
-// calls, statements, waits and reductions, and thread-scoped instant
-// events for message sends and receives. Timestamps are virtual-time
+// calls, statements, waits and reductions, thread-scoped instant events
+// for message sends and receives, and one flow (ph "s" at the send, "f"
+// at the receive) per matched message pair so the viewer draws the
+// arrow that carried the dependency. Timestamps are virtual-time
 // microseconds, so identical runs produce identical files.
 func WriteChrome(w io.Writer, r *Recorder) error {
 	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
@@ -67,6 +139,7 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 		}
 	}
 
+	sorted := make([][]Event, r.Procs())
 	for rank := 0; rank < r.Procs(); rank++ {
 		events := append([]Event(nil), r.Buffer(rank).Events()...)
 		// Spans recorded at completion can start before an inner span
@@ -79,7 +152,12 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 			}
 			return events[i].Dur > events[j].Dur
 		})
-		for _, e := range events {
+		sorted[rank] = events
+	}
+	flows := matchFlows(sorted)
+
+	for rank := 0; rank < r.Procs(); rank++ {
+		for i, e := range sorted[rank] {
 			ce := chromeEvent{
 				Name: e.Name,
 				Cat:  e.Kind.String(),
@@ -115,10 +193,11 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 			case KindReduce:
 				ce.Ph = "X"
 				ce.Dur = float64(e.Dur) / 1000
-				// Per-hop spans carry their algorithm level and payload; the
-				// whole-reduction span (A0 < 0) has no per-hop detail.
+				// Per-hop spans carry their algorithm level, payload and
+				// peer; the whole-reduction span (A0 < 0) has no per-hop
+				// detail.
 				if e.A0 >= 0 {
-					ce.Args = map[string]any{"level": e.A0, "bytes": e.A1}
+					ce.Args = map[string]any{"level": e.A0, "bytes": e.A1, "peer": e.A2}
 				}
 			default:
 				ce.Ph = "X"
@@ -126,6 +205,17 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 			}
 			if err := emit(ce); err != nil {
 				return err
+			}
+			if f, ok := flows[[2]int{rank, i}]; ok {
+				fe := chromeEvent{Name: "msg", Cat: "flow", Ts: ce.Ts, Tid: rank, ID: f.id}
+				if f.finish {
+					fe.Ph, fe.BP = "f", "e"
+				} else {
+					fe.Ph = "s"
+				}
+				if err := emit(fe); err != nil {
+					return err
+				}
 			}
 		}
 	}

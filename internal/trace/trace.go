@@ -22,11 +22,11 @@ type Kind uint8
 // Event kinds.
 const (
 	KindCall   Kind = iota // IRONMAN call: A0 = call kind (0=DR 1=SR 2=DN 3=SV), A1 = payload bytes sent during the call
-	KindSend               // point-to-point message enqueued: A0 = destination rank, A1 = bytes
-	KindRecv               // point-to-point message consumed: A0 = source rank, A1 = bytes
+	KindSend               // point-to-point message enqueued: A0 = destination rank, A1 = bytes, A2 = transfer tag
+	KindRecv               // point-to-point message consumed: A0 = source rank, A1 = bytes, A2 = transfer tag
 	KindStmt               // statement execution: A0 = engine (0=scalar 1=kernel 2=interp)
 	KindWait               // blocking-wait interval (data, rendezvous token or reduction)
-	KindReduce             // global reduction phase, wait included
+	KindReduce             // global reduction phase (A0 = -1), or one hop of it: A0 = round, A1 = bytes, A2 = peer rank
 )
 
 // String names the kind (the Chrome event category).
@@ -56,14 +56,14 @@ const (
 )
 
 // Event is one virtual-time-stamped occurrence on one processor. Start
-// and Dur are in virtual nanoseconds; A0/A1 carry kind-specific integer
-// arguments (see the Kind constants).
+// and Dur are in virtual nanoseconds; A0/A1/A2 carry kind-specific
+// integer arguments (see the Kind constants).
 type Event struct {
-	Kind   Kind
-	Start  vtime.Time
-	Dur    vtime.Duration
-	Name   string
-	A0, A1 int64
+	Kind       Kind
+	Start      vtime.Time
+	Dur        vtime.Duration
+	Name       string
+	A0, A1, A2 int64
 }
 
 // DefaultCap is the per-processor ring capacity used when Recorder.Cap

@@ -185,6 +185,76 @@ func TestRecorderReinit(t *testing.T) {
 	}
 }
 
+// Each matched send/recv pair renders as one flow: a "s" event on the
+// sender's row and a "f" event (bound to the enclosing slice, bp "e") on
+// the receiver's, sharing an id.
+func TestWriteChromeFlowEvents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"s"`, `"ph":"f"`, `"id":1`, `"bp":"e"`, `"cat":"flow"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s", want)
+		}
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+}
+
+// Ring eviction drops the oldest events, so flows align streams from the
+// tail: a send whose receive was evicted (or vice versa) gets no flow,
+// and the retained pairs still match one-to-one.
+func TestMatchFlowsTailAligned(t *testing.T) {
+	// Stream (0 -> 1, tag 7): three sends retained but only the last two
+	// receives survived eviction.
+	sorted := [][]Event{
+		{
+			{Kind: KindSend, Start: 10, Name: "send", A0: 1, A2: 7},
+			{Kind: KindSend, Start: 20, Name: "send", A0: 1, A2: 7},
+			{Kind: KindSend, Start: 30, Name: "send", A0: 1, A2: 7},
+		},
+		{
+			{Kind: KindRecv, Start: 25, Name: "recv", A0: 0, A2: 7},
+			{Kind: KindRecv, Start: 35, Name: "recv", A0: 0, A2: 7},
+		},
+	}
+	flows := matchFlows(sorted)
+	if len(flows) != 4 {
+		t.Fatalf("%d flow endpoints, want 4 (two matched pairs): %v", len(flows), flows)
+	}
+	if _, ok := flows[[2]int{0, 0}]; ok {
+		t.Error("the earliest send (whose receive was evicted) must not carry a flow")
+	}
+	for _, pair := range [][2][2]int{
+		{{0, 1}, {1, 0}},
+		{{0, 2}, {1, 1}},
+	} {
+		s, sok := flows[pair[0]]
+		r, rok := flows[pair[1]]
+		if !sok || !rok || s.id != r.id || s.finish || !r.finish {
+			t.Errorf("pair %v mismatched: send %+v (ok %v), recv %+v (ok %v)", pair, s, sok, r, rok)
+		}
+	}
+}
+
+// Flow ids are deterministic: two renderings assign identical ids.
+func TestMatchFlowsDeterministic(t *testing.T) {
+	r := sampleRecorder()
+	events := [][]Event{r.Buffer(0).Events(), r.Buffer(1).Events()}
+	a, b := matchFlows(events), matchFlows(events)
+	if len(a) != len(b) {
+		t.Fatalf("endpoint counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("endpoint %v: %+v vs %+v", k, v, b[k])
+		}
+	}
+}
+
 // TestValidateTraceFile validates an externally produced trace file (CI
 // runs zplrun -trace and points TRACE_FILE here); it is skipped when the
 // variable is unset so the tier-1 suite stays hermetic.

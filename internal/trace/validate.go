@@ -8,20 +8,25 @@ import (
 // rawEvent mirrors one trace event for validation; pointer fields detect
 // missing required keys.
 type rawEvent struct {
-	Name *string  `json:"name"`
-	Ph   *string  `json:"ph"`
-	Ts   *float64 `json:"ts"`
-	Dur  *float64 `json:"dur"`
-	Pid  *int     `json:"pid"`
-	Tid  *int     `json:"tid"`
+	Name *string        `json:"name"`
+	Cat  *string        `json:"cat"`
+	Ph   *string        `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	ID   *int           `json:"id"`
+	Args map[string]any `json:"args"`
 }
 
 // ValidateChrome checks serialized trace-event JSON against the subset of
 // the Chrome trace-event schema this package emits: the top-level object
 // with a traceEvents array, the required keys on every event (name, ph,
-// ts, pid, tid), known phase codes, non-negative durations, and — per
-// timeline row — non-decreasing timestamps in file order. It returns the
-// first violation found, or nil for a valid trace.
+// ts, pid, tid), known phase codes, flow events (ph "s"/"t"/"f") carrying
+// a binding id, reduction-hop spans carrying their level/bytes/peer args,
+// non-negative durations, and — per timeline row — non-decreasing
+// timestamps in file order. It returns the first violation found, or nil
+// for a valid trace.
 func ValidateChrome(data []byte) error {
 	var top struct {
 		TraceEvents []json.RawMessage `json:"traceEvents"`
@@ -57,8 +62,23 @@ func ValidateChrome(data []byte) error {
 			if e.Dur != nil && *e.Dur < 0 {
 				return fmt.Errorf("trace: event %d (%s): negative dur %g", i, *e.Name, *e.Dur)
 			}
+			// A reduction-hop span (cat "reduce" with args) must carry the
+			// full hop description; partial args mean a renderer bug.
+			if e.Cat != nil && *e.Cat == "reduce" && e.Args != nil {
+				for _, key := range []string{"level", "bytes", "peer"} {
+					if _, ok := e.Args[key]; !ok {
+						return fmt.Errorf("trace: event %d (%s): reduce hop args missing %q", i, *e.Name, key)
+					}
+				}
+			}
 		case "i":
 			// thread-scoped instant; nothing further to check
+		case "s", "t", "f":
+			// Flow events bind by id; one without an id can never attach
+			// to its counterpart.
+			if e.ID == nil {
+				return fmt.Errorf("trace: event %d (%s): flow phase %q without id", i, *e.Name, *e.Ph)
+			}
 		default:
 			return fmt.Errorf("trace: event %d (%s): unknown phase %q", i, *e.Name, *e.Ph)
 		}

@@ -18,7 +18,7 @@
 //	e2e_cpus, e2e_workers          ignored (host shape)
 //	e2e_serial_over_parallel       new value must stay >= 0.9
 //	*_over_* , *speedup*           ratio within 3x of the snapshot
-//	*allocs*                       at most 1.5x the snapshot (shrinking is fine)
+//	*allocs*, *bytes_per_proc*     at most 1.5x the snapshot (shrinking is fine)
 //	*ns_per_op, *_seconds          ratio within 10x (host time; sim_seconds
 //	                               is simulated and exempt — exact)
 //	everything else                exact match
@@ -210,7 +210,7 @@ func compareMetric(key string, old, fresh any) (string, error) {
 		return "min 0.9", nil
 	case strings.Contains(key, "_over_") || strings.Contains(key, "speedup"):
 		return ratioWithin(ov, nv, 3)
-	case strings.Contains(key, "allocs"):
+	case strings.Contains(key, "allocs"), strings.Contains(key, "bytes_per_proc"):
 		if nv > ov*1.5 {
 			return "", fmt.Errorf("allocations grew %.0f -> %.0f (> 1.5x)", ov, nv)
 		}

@@ -27,6 +27,9 @@ func TestCompareMetric(t *testing.T) {
 		{"kernel_allocs_per_op", 151, 151, true, "allocs 1.5x"},
 		{"kernel_allocs_per_op", 151, 140, true, "allocs 1.5x"}, // shrinking is fine
 		{"kernel_allocs_per_op", 151, 300, false, ""},
+		{"bytes_per_proc", 40663.4, 41052.3, true, "allocs 1.5x"}, // host heap, jitters
+		{"oracle64_bytes_per_proc", 40663.4, 39000.0, true, "allocs 1.5x"},
+		{"bytes_per_proc", 40663.4, 70000.0, false, ""},
 		{"pooled_ns_per_op", 5e6, 4e7, true, "ratio 10x"},
 		{"pooled_ns_per_op", 5e6, 6e7, false, ""},
 		{"e2e_serial_seconds", 0.38, 1.0, true, "ratio 10x"},

@@ -10,6 +10,7 @@
 //	icpp97 -quick          # reduced problem sizes
 //	icpp97 -exp profile    # per-callsite "where did the time go" appendix
 //	icpp97 -exp critpath   # exact critical-path decomposition per experiment
+//	icpp97 -exp rdma       # re-run the optimization ladder on the RDMA model
 //	icpp97 -trace-dir traces -exp table1 -quick   # Perfetto timelines
 package main
 
@@ -35,9 +36,10 @@ func main() {
 	if target, ok := defaultGCPercent(os.Getenv("GOGC"), 300); ok {
 		debug.SetGCPercent(target)
 	}
-	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, scalinglaw, collective, profile, predict, critpath")
+	exp := flag.String("exp", "all", "which experiment to run: all, fig3, fig5, fig6, fig7, fig8, fig9, fig10a, fig10b, fig11, fig12, table1..table4, scaling, scalinglaw, collective, profile, predict, critpath, rdma")
 	procs := flag.Int("procs", 64, "processors in the simulated partition")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	noFuse := flag.Bool("no-fuse", false, "disable cross-statement kernel fusion (results are identical; host time is not)")
 	workers := flag.Int("workers", 0, "benchmark×experiment cells simulated concurrently (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	traceDir := flag.String("trace-dir", "", "write a Chrome trace-event JSON timeline per benchmark×experiment run into `dir`")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to `file`")
@@ -60,6 +62,7 @@ func main() {
 	r := experiments.NewRunner(*procs)
 	r.Quick = *quick
 	r.Workers = *workers
+	r.NoFuse = *noFuse
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "icpp97:", err)
@@ -150,6 +153,11 @@ func run(exp string, r *experiments.Runner) error {
 		// shrink monotonically across the pvm ladder on >= 3 of the 4
 		// benchmarks).
 		return experiments.RunCritpath(w, r)
+	case "rdma":
+		// Opt-in only, like profile: the RDMA re-run is the extension
+		// experiment, not one of the paper's figures, so "all" stays
+		// byte-identical.
+		return experiments.RunRDMA(w, r)
 	case "predict":
 		// Opt-in only, like profile: predicted-vs-measured is a validation
 		// appendix, not one of the paper's figures, so "all" stays

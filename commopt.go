@@ -122,6 +122,18 @@ type RunOptions struct {
 	// differ).
 	ForceGoroutinePerProc bool
 
+	// ForceNoFusion executes every array statement individually instead
+	// of fusing adjacent compatible statements into one sweep
+	// (differential-testing oracle; results are identical, only host
+	// wall-clock differs).
+	ForceNoFusion bool
+
+	// NoOverlap packs and delivers every message synchronously instead of
+	// overlapping large sends with subsequent host execution
+	// (differential-testing oracle; results are identical, only host
+	// wall-clock differs).
+	NoOverlap bool
+
 	// SchedWorkers bounds the M:N scheduler's worker pool
 	// (0 = GOMAXPROCS). Ignored with ForceGoroutinePerProc.
 	SchedWorkers int
@@ -158,6 +170,8 @@ func (p *Program) Run(plan *comm.Plan, opts RunOptions) (*rt.Result, error) {
 		ForceInterpreter:      opts.ForceInterpreter,
 		ForceLegacyComm:       opts.ForceLegacyComm,
 		ForceGoroutinePerProc: opts.ForceGoroutinePerProc,
+		ForceNoFusion:         opts.ForceNoFusion,
+		NoOverlap:             opts.NoOverlap,
 		SchedWorkers:          opts.SchedWorkers,
 	})
 }

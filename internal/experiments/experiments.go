@@ -31,6 +31,11 @@ type Experiment struct {
 	Label   string
 	Options comm.Options
 	Library string
+
+	// Machine selects the simulated machine by machine.ByName key; empty
+	// means the paper's default T3D. Only the rdma extension experiments
+	// set it (rdma.go).
+	Machine string
 }
 
 // Experiments returns the six experiments of Figure 9 in order.
@@ -45,9 +50,15 @@ func Experiments() []Experiment {
 	}
 }
 
-// ExperimentByKey returns the named experiment.
+// ExperimentByKey returns the named experiment, searching the paper's
+// six rows and the rdma extension rows.
 func ExperimentByKey(key string) (Experiment, error) {
 	for _, e := range Experiments() {
+		if e.Key == key {
+			return e, nil
+		}
+	}
+	for _, e := range RDMAExperiments() {
 		if e.Key == key {
 			return e, nil
 		}
@@ -88,6 +99,11 @@ type Runner struct {
 	// (virtual time, one row per processor) for every benchmark×experiment
 	// run into the directory, named <bench>_<experiment>.trace.json.
 	TraceDir string
+
+	// NoFuse disables cross-statement kernel fusion in every cell run
+	// (rt.Config.ForceNoFusion). Simulated results are identical either
+	// way; the flag exists so cmd/icpp97 -no-fuse can demonstrate that.
+	NoFuse bool
 
 	mu        sync.Mutex // guards the maps and compiled programs/plans
 	programs  map[string]*compiled
@@ -199,11 +215,18 @@ func (r *Runner) runCell(benchName, expKey string) (Cell, error) {
 	if r.Quick {
 		cfg = c.bench.CalibConfig
 	}
+	mach := machine.T3D()
+	if exp.Machine != "" {
+		if mach, err = machine.ByName(exp.Machine); err != nil {
+			return Cell{}, err
+		}
+	}
 	rtCfg := rt.Config{
-		Machine:    machine.T3D(),
-		Library:    exp.Library,
-		Procs:      r.Procs,
-		ConfigVars: cfg,
+		Machine:       mach,
+		Library:       exp.Library,
+		Procs:         r.Procs,
+		ConfigVars:    cfg,
+		ForceNoFusion: r.NoFuse,
 	}
 	if r.workers() > 1 {
 		// Concurrent cells are independent simulations, so they scale

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"commopt/internal/diag"
+	"commopt/internal/zpl"
+)
+
+func init() {
+	register(Rule{
+		ID:  "fuse-blocked",
+		Doc: "adjacent same-region array statements almost fuse but are split by a hoistable scalar temp",
+		Run: runFuseBlocked,
+	})
+}
+
+// runFuseBlocked flags pairs of array statements over the same region
+// that the runtime's cross-statement fusion would merge into one sweep
+// if a scalar assignment did not sit between them. When every
+// intervening scalar reads no array data and is not read by the first
+// array statement, the whole group can be hoisted above the pair with
+// identical results — the split costs a fused sweep for nothing.
+// Informational: the program is correct, just arranged to defeat
+// fusion.
+func runFuseBlocked(c *Context) {
+	for _, p := range c.Prog.Procs {
+		c.fuseBlockedWalk(p.Body, zpl.RegionRef{}, p.Name)
+	}
+}
+
+// fuseBlockedWalk scans every statement list together with its innermost
+// enclosing region scope (fusion never crosses a scope change, so the
+// scope is what makes two statements "same region").
+func (c *Context) fuseBlockedWalk(body []zpl.Stmt, scope zpl.RegionRef, proc string) {
+	c.fuseBlockedScan(body, scope, proc)
+	for _, s := range body {
+		switch s := s.(type) {
+		case *zpl.ScopeStmt:
+			c.fuseBlockedWalk([]zpl.Stmt{s.Body}, s.Region, proc)
+		case *zpl.CompoundStmt:
+			c.fuseBlockedWalk(s.Body, scope, proc)
+		case *zpl.IfStmt:
+			c.fuseBlockedWalk(s.Then, scope, proc)
+			for _, arm := range s.Elifs {
+				c.fuseBlockedWalk(arm.Body, scope, proc)
+			}
+			c.fuseBlockedWalk(s.Else, scope, proc)
+		case *zpl.RepeatStmt:
+			c.fuseBlockedWalk(s.Body, scope, proc)
+		case *zpl.WhileStmt:
+			c.fuseBlockedWalk(s.Body, scope, proc)
+		case *zpl.ForStmt:
+			c.fuseBlockedWalk(s.Body, scope, proc)
+		}
+	}
+}
+
+// fuseBlockedScan looks for the shape
+//
+//	[R] A := ...;   t := scalar-only;   [R] B := ...;
+//
+// within one statement list: an array statement, one or more scalar
+// assignments, then another array statement over the same named region.
+func (c *Context) fuseBlockedScan(body []zpl.Stmt, scope zpl.RegionRef, proc string) {
+	i := 0
+	for i < len(body) {
+		first, region, ok := c.arrayAssign(body[i], scope, proc)
+		if !ok || region == "" {
+			i++
+			continue
+		}
+		var temps []*zpl.AssignStmt
+		j := i + 1
+		for j < len(body) {
+			t, ok := c.scalarAssign(body[j], proc)
+			if !ok {
+				break
+			}
+			temps = append(temps, t)
+			j++
+		}
+		if len(temps) > 0 && j < len(body) {
+			if second, r2, ok := c.arrayAssign(body[j], scope, proc); ok && r2 == region {
+				c.reportFuseBlocked(first, second, temps, region, proc)
+			}
+		}
+		// The second array statement may itself start another split
+		// pair; resume the scan at it, not past it.
+		i = j
+	}
+}
+
+// reportFuseBlocked fires only when every temp between the pair is
+// hoistable — a single unmovable scalar means the statements could not
+// become adjacent anyway.
+func (c *Context) reportFuseBlocked(first, second *zpl.AssignStmt, temps []*zpl.AssignStmt, region, proc string) {
+	for _, t := range temps {
+		if !c.hoistableTemp(t, first, proc) {
+			return
+		}
+	}
+	for _, t := range temps {
+		c.List.Add("fuse-blocked", diag.Info, t.Pos,
+			"scalar assignment to %q splits two fusable [%s] array statements (%s, %s): hoisting it above the %s assignment would let them fuse into one sweep",
+			t.LHS, region, first.LHS, second.LHS, first.LHS)
+	}
+}
+
+// arrayAssign recognizes an array statement in a list: either a bare
+// assignment to an array under the enclosing scope, or a one-statement
+// region scope wrapping such an assignment. Returns the governing
+// region's name ("" for inline range scopes, which never compare equal).
+func (c *Context) arrayAssign(s zpl.Stmt, scope zpl.RegionRef, proc string) (*zpl.AssignStmt, string, bool) {
+	switch s := s.(type) {
+	case *zpl.AssignStmt:
+		if c.isArray(proc, s.LHS) {
+			return s, scope.Name, true
+		}
+	case *zpl.ScopeStmt:
+		if as, ok := s.Body.(*zpl.AssignStmt); ok && c.isArray(proc, as.LHS) {
+			return as, s.Region.Name, true
+		}
+	}
+	return nil, "", false
+}
+
+// scalarAssign recognizes a plain assignment to a non-array name.
+func (c *Context) scalarAssign(s zpl.Stmt, proc string) (*zpl.AssignStmt, bool) {
+	as, ok := s.(*zpl.AssignStmt)
+	if !ok || c.isArray(proc, as.LHS) {
+		return nil, false
+	}
+	return as, true
+}
+
+func (c *Context) isArray(proc, name string) bool {
+	return c.Info.Decls[c.Info.key(proc, name)].Kind == "array"
+}
+
+// hoistableTemp reports whether moving temp above first preserves both
+// statements: the temp's right-hand side must read no array data (an
+// array read — directly, through @, or under a reduction — could see
+// values first writes, and a reduction is a communication point fusion
+// would not cross anyway), and first must not read the temp's name.
+func (c *Context) hoistableTemp(temp, first *zpl.AssignStmt, proc string) bool {
+	clean := true
+	walkExprs(temp.RHS, func(e zpl.Expr) {
+		switch e := e.(type) {
+		case *zpl.Ident:
+			if c.isArray(proc, e.Name) {
+				clean = false
+			}
+		case *zpl.AtExpr, *zpl.ReduceExpr:
+			clean = false
+		}
+	})
+	if !clean {
+		return false
+	}
+	readsTemp := false
+	walkExprs(first.RHS, func(e zpl.Expr) {
+		switch e := e.(type) {
+		case *zpl.Ident:
+			if e.Name == temp.LHS {
+				readsTemp = true
+			}
+		case *zpl.AtExpr:
+			if e.Array == temp.LHS {
+				readsTemp = true
+			}
+		}
+	})
+	return !readsTemp
+}

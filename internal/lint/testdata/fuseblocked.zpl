@@ -1,0 +1,34 @@
+program fuseblockedfix;
+
+config var n : integer = 8;
+
+region R = [1..n, 1..n];
+region S = [2..n-1, 2..n-1];
+
+var A, B, C, D : [R] float;
+var t, w : float;
+
+procedure main();
+begin
+  -- A hoistable scalar temp splits two fusable [R] statements.
+  [R] begin
+    A := B + 1.0;
+    t := 2.5;
+    C := A * t;
+  end;
+
+  -- Not flagged: w reads array data through a reduction, so it cannot
+  -- move above the statement pair.
+  [R] begin
+    B := C + A;
+    w := +<< B;
+    D := B * w;
+  end;
+
+  -- Not flagged: the array statements run under different regions.
+  [R] A := D + B;
+  t := t + 1.0;
+  [S] C := A * t;
+
+  writeln(t + w + (+<< C) + (+<< D));
+end;

@@ -10,8 +10,8 @@ var x : float;
 procedure main();
 begin
   [R] A := 0.0;
+  [R] A := A;
   x := 2.0;
   x := x;
-  [R] A := A;
   writeln(x + (+<< A));
 end;

@@ -182,7 +182,7 @@ func (p *proc) dispatchCall(c comm.Call) {
 	case comm.DN:
 		p.execDN(c.T, st, lib)
 	case comm.SV:
-		p.execSV(st, lib)
+		p.execSV(c.T, st, lib)
 		p.open[c.T.ID] = nil
 		p.openCount--
 	}
@@ -258,6 +258,7 @@ func (p *proc) execSR(t *comm.Transfer, st *commSched, lib *machine.Lib) {
 func (p *proc) send(t *comm.Transfer, pr *packPair, lib *machine.Lib) {
 	avail := p.clock.Add(lib.Latency + machine.PerByteDur(lib.WirePerByte, pr.bytes))
 	var m *dataMsg
+	async := false
 	if p.w.legacyComm {
 		m = &dataMsg{
 			tag:     t.ID,
@@ -280,7 +281,13 @@ func (p *proc) send(t *comm.Transfer, pr *packPair, lib *machine.Lib) {
 		m.sent = p.clock
 		m.avail = avail
 		m.flat = m.flat[:pr.doubles]
-		pr.pack(m.flat)
+		// Large packs overlap with subsequent host execution: every
+		// virtual-time field of m is already set, so only the pack and the
+		// delivery leave this coroutine (see overlap.go).
+		async = p.w.overlap && pr.doubles >= overlapMinDoubles
+		if !async {
+			pr.pack(m.flat)
+		}
 	}
 	if pr.bytes > 0 {
 		p.messages++
@@ -291,6 +298,10 @@ func (p *proc) send(t *comm.Transfer, pr *packPair, lib *machine.Lib) {
 		if p.tr != nil {
 			p.tr.Add(trace.Event{Kind: trace.KindSend, Start: p.clock, Name: "send", A0: int64(pr.peer), A1: int64(pr.bytes), A2: int64(t.ID)})
 		}
+	}
+	if async {
+		p.startAsyncSend(t, pr, m)
+		return
 	}
 	p.sendData(pr, m)
 }
@@ -417,7 +428,10 @@ func (p *proc) recvTagged(pr *packPair, tag int) *dataMsg {
 	}
 }
 
-func (p *proc) execSV(st *commSched, lib *machine.Lib) {
+func (p *proc) execSV(t *comm.Transfer, st *commSched, lib *machine.Lib) {
+	// SV marks the source data about to become volatile: any async send of
+	// this transfer must finish reading it before the call returns.
+	p.joinSends(t.ID)
 	if lib.Rendezvous {
 		return // puts complete at SR; SV compiles to a no-op
 	}

@@ -1,0 +1,231 @@
+// Fusion benchmarks live in package rt_test beside the scheduler and
+// collective benchmarks so they can run the real benchmark suite through
+// the public API without import cycles.
+package rt_test
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"syscall"
+	"testing"
+	"time"
+
+	"commopt/internal/comm"
+	"commopt/internal/ir"
+	"commopt/internal/machine"
+	"commopt/internal/programs"
+	"commopt/internal/rt"
+	"commopt/internal/zpl"
+)
+
+// fuseBenchCfg sizes each suite benchmark so the steady-state loop body
+// dominates the run: enough iterations that one run takes around a
+// second on one simulated processor, long enough for the paired-ratio
+// measurement below to resolve the few-percent host-time effect of
+// fusion against machine noise. The interesting comparisons all live in
+// the main loops — setup-only wins would vanish into the iteration
+// count either way.
+var fuseBenchCfg = map[string]map[string]float64{
+	"tomcatv": {"n": 128, "iters": 300},
+	"swm":     {"n": 512, "iters": 20},
+	"simple":  {"n": 256, "iters": 60},
+	"sp":      {"n": 16, "nz": 16, "iters": 180},
+}
+
+// fuseBenchPlan compiles one suite benchmark under the full optimizer
+// (the configuration every figure runs).
+func fuseBenchPlan(tb testing.TB, name string) (*ir.Program, *comm.Plan) {
+	tb.Helper()
+	bench, err := programs.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ast, err := zpl.Parse(bench.Source)
+	if err != nil {
+		tb.Fatalf("%s: parse: %v", name, err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		tb.Fatalf("%s: lower: %v", name, err)
+	}
+	return prog, comm.BuildPlan(prog, comm.PL())
+}
+
+// benchFusion runs one suite benchmark end to end with cross-statement
+// fusion on or forced off, on one simulated processor so the host-time
+// delta isolates kernel execution from messaging (the same framing as
+// BenchmarkKernels). Everything else — plan, machine, config — is
+// identical, so the delta is exactly what the fused sweeps save.
+func benchFusion(b *testing.B, name string, noFuse bool) {
+	b.Helper()
+	prog, plan := fuseBenchPlan(b, name)
+	rtCfg := rt.Config{
+		Machine: machine.T3D(), Library: "pvm", Procs: 1,
+		ConfigVars: fuseBenchCfg[name], ForceNoFusion: noFuse,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(prog, plan, rtCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusion pits the fused execution path against the unfused
+// oracle on every suite benchmark. Simulated results are bit-identical
+// either way (TestFusionMatchesUnfused); only host wall-clock moves.
+// For a noise-robust comparison prefer the paired ratios in
+// BENCH_fusion.json (TestEmitFusionBenchJSON) over two -bench runs.
+func BenchmarkFusion(b *testing.B) {
+	for _, bench := range programs.Suite() {
+		name := bench.Name
+		b.Run(name+"/fused", func(b *testing.B) { benchFusion(b, name, false) })
+		b.Run(name+"/unfused", func(b *testing.B) { benchFusion(b, name, true) })
+	}
+}
+
+// fusedStmtCount runs one benchmark with metrics on and reports how many
+// statement executions went through the fused engine, pinning that
+// fusion actually engages on the measured program. The calibration size
+// is enough — engagement is a static property of the plan.
+func fusedStmtCount(tb testing.TB, name string) int64 {
+	tb.Helper()
+	bench, err := programs.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prog, plan := fuseBenchPlan(tb, name)
+	res, err := rt.Run(prog, plan, rt.Config{
+		Machine: machine.T3D(), Library: "pvm", Procs: 1,
+		ConfigVars: bench.CalibConfig, Metrics: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, c := range res.Metrics.Counters() {
+		if c.Name == "stmts_fused" {
+			return c.N
+		}
+	}
+	return 0
+}
+
+// processCPU returns the process's accumulated user+system CPU time.
+// Paired fused/unfused runs are compared on CPU time rather than wall
+// clock: wall-clock ratios on shared CI machines carry scheduling gaps
+// and frequency drift an order of magnitude larger than the effect
+// being measured.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return time.Duration(0)
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// pairedFusionRatios measures unfused/fused CPU-time ratios over pairs
+// of back-to-back runs, alternating which side of each pair runs first
+// so allocator and page-cache warm-up bias cancels instead of always
+// favoring the second run. Returns the sorted ratios plus the median
+// per-run CPU time of each side.
+func pairedFusionRatios(tb testing.TB, name string, pairs int) (ratios []float64, fusedNs, unfusedNs int64) {
+	tb.Helper()
+	prog, plan := fuseBenchPlan(tb, name)
+	one := func(noFuse bool) float64 {
+		cfg := rt.Config{Machine: machine.T3D(), Library: "pvm", Procs: 1,
+			ConfigVars: fuseBenchCfg[name], ForceNoFusion: noFuse}
+		start := processCPU()
+		if _, err := rt.Run(prog, plan, cfg); err != nil {
+			tb.Fatal(err)
+		}
+		return (processCPU() - start).Seconds()
+	}
+	one(false) // warm compile caches and the page allocator
+	one(true)
+	var fused, unfused []float64
+	for p := 0; p < pairs; p++ {
+		var f, u float64
+		if p%2 == 0 {
+			f = one(false)
+			u = one(true)
+		} else {
+			u = one(true)
+			f = one(false)
+		}
+		fused = append(fused, f)
+		unfused = append(unfused, u)
+		ratios = append(ratios, u/f)
+	}
+	sort.Float64s(ratios)
+	sort.Float64s(fused)
+	sort.Float64s(unfused)
+	toNs := func(s float64) int64 { return int64(s * 1e9) }
+	return ratios, toNs(fused[len(fused)/2]), toNs(unfused[len(unfused)/2])
+}
+
+// TestEmitFusionBenchJSON regenerates BENCH_fusion.json, the checked-in
+// snapshot of the fused-versus-unfused suite comparison. Skipped unless
+// BENCH_FUSION_JSON names the output file:
+//
+//	BENCH_FUSION_JSON=$PWD/BENCH_fusion.json go test ./internal/rt -run TestEmitFusionBenchJSON -count=1
+func TestEmitFusionBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_FUSION_JSON")
+	if path == "" {
+		t.Skip("set BENCH_FUSION_JSON=<output path> to emit fusion benchmark numbers")
+	}
+	const pairs = 7
+	type row struct {
+		Bench       string  `json:"bench"`
+		FusedStmts  int64   `json:"fused_stmts"`
+		FusedNsOp   int64   `json:"fused_ns_per_op"`
+		UnfusedNsOp int64   `json:"unfused_ns_per_op"`
+		Speedup     float64 `json:"speedup"`
+		SpeedupMin  float64 `json:"speedup_min"`
+		SpeedupMax  float64 `json:"speedup_max"`
+	}
+	report := struct {
+		Benchmark string `json:"benchmark"`
+		Method    string `json:"method"`
+		Procs     int    `json:"procs"`
+		Pairs     int    `json:"pairs"`
+		Rows      []row  `json:"rows"`
+	}{
+		Benchmark: "BenchmarkFusion",
+		Method:    "paired alternating runs, process CPU time, median ratio",
+		Procs:     1,
+		Pairs:     pairs,
+	}
+	for _, bench := range programs.Suite() {
+		name := bench.Name
+		ratios, fNs, uNs := pairedFusionRatios(t, name, pairs)
+		report.Rows = append(report.Rows, row{
+			Bench:       name,
+			FusedStmts:  fusedStmtCount(t, name),
+			FusedNsOp:   fNs,
+			UnfusedNsOp: uNs,
+			Speedup:     ratios[len(ratios)/2],
+			SpeedupMin:  ratios[0],
+			SpeedupMax:  ratios[len(ratios)-1],
+		})
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusionEngagesOnSuite pins that every suite benchmark actually
+// exercises the fused engine — without it, a legality-rule regression
+// could silently turn BenchmarkFusion into the same path measured twice.
+func TestFusionEngagesOnSuite(t *testing.T) {
+	for _, bench := range programs.Suite() {
+		if n := fusedStmtCount(t, bench.Name); n == 0 {
+			t.Errorf("%s: no statement executions took the fused engine", bench.Name)
+		}
+	}
+}

@@ -64,6 +64,7 @@ const (
 type kctx struct {
 	i, j, k int       // global coordinates of the row's first element
 	scratch []float64 // slot rows for intermediate results, arena-backed
+	gen     int64     // fused-sweep row generation, keys memoized rows (fuse.go)
 }
 
 // coord returns the row-start coordinate along dimension d.
@@ -338,6 +339,9 @@ func (k *reduceKernel) run(p *proc) float64 {
 }
 
 // kcompiler lowers an expression tree to row evaluators over one region.
+// A fused-run compile (compileFused) sets memo, enabling cross-statement
+// elimination of repeated subexpressions; per-statement compiles leave it
+// nil and every occurrence evaluates independently.
 type kcompiler struct {
 	p     *proc
 	local grid.Region
@@ -345,6 +349,12 @@ type kcompiler struct {
 	L     int
 	slots int
 	ok    bool
+
+	// Fused-run CSE state (cse.go): memo holds the wrappers for repeated
+	// subtrees, benefit the pre-pass's set of keys worth wrapping. Both
+	// nil outside compileFused.
+	memo    map[string]*memoEntry
+	benefit map[string]bool
 }
 
 // slot reserves a fresh scratch row and returns its index.
@@ -650,45 +660,49 @@ func (kc *kcompiler) node(e ir.Expr) vec {
 		if scalarOnly(e) {
 			return kc.node2fill(e)
 		}
-		x := kc.node(e.X)
-		if e.Op == zpl.MINUS {
+		return kc.memoize(e, func() vec {
+			x := kc.node(e.X)
+			if e.Op == zpl.MINUS {
+				return func(c *kctx, dst []float64) []float64 {
+					xs := x(c, dst)
+					for n := range dst {
+						dst[n] = -xs[n]
+					}
+					return dst
+				}
+			}
 			return func(c *kctx, dst []float64) []float64 {
 				xs := x(c, dst)
 				for n := range dst {
-					dst[n] = -xs[n]
+					dst[n] = boolVal(xs[n] == 0)
 				}
 				return dst
 			}
-		}
-		return func(c *kctx, dst []float64) []float64 {
-			xs := x(c, dst)
-			for n := range dst {
-				dst[n] = boolVal(xs[n] == 0)
-			}
-			return dst
-		}
+		})
 
 	case *ir.Binary:
 		if scalarOnly(e) {
 			return kc.node2fill(e)
 		}
-		x := kc.node(e.X)
-		y := kc.node(e.Y)
-		ys := kc.slot()
-		op := e.Op
-		L := kc.L
-		return func(c *kctx, dst []float64) []float64 {
-			xs := x(c, dst)
-			yr := y(c, c.scratch[ys*L:ys*L+L])
-			binRow(op, dst, xs, yr)
-			return dst
-		}
+		return kc.memoize(e, func() vec {
+			x := kc.node(e.X)
+			y := kc.node(e.Y)
+			ys := kc.slot()
+			op := e.Op
+			L := kc.L
+			return func(c *kctx, dst []float64) []float64 {
+				xs := x(c, dst)
+				yr := y(c, c.scratch[ys*L:ys*L+L])
+				binRow(op, dst, xs, yr)
+				return dst
+			}
+		})
 
 	case *ir.Intrinsic:
 		if scalarOnly(e) {
 			return kc.node2fill(e)
 		}
-		return kc.intrinsic(e)
+		return kc.memoize(e, func() vec { return kc.intrinsic(e) })
 
 	case *ir.Reduce:
 		// Reductions never appear below statement level (see eval.go).

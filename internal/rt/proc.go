@@ -73,6 +73,21 @@ type proc struct {
 	nodeScratch bump // permanent per-node buffers of compiled closures
 	kctx        kctx
 
+	// Cross-statement fusion (fuse.go): compiled fused runs, keyed like
+	// the statement-kernel cache, with a run-pointer hint in front.
+	fkernels    map[fusedKey]*fusedKernel
+	fkernelHint map[*fuseRun]fusedHintEntry
+
+	// Host-side comm/compute overlap (commexec.go): sends whose pack and
+	// delivery run on a spawned goroutine while this processor keeps
+	// executing. Jobs join at the transfer's SV call; inflight counts
+	// not-yet-joined jobs per source array ID as a defense-in-depth guard
+	// so host execution never reads a buffer an async pack still owns.
+	overlapJobs []overlapJob
+	inflight    []int32
+	inflightN   int
+	asyncSends  int64 // sends whose pack+delivery ran on a goroutine
+
 	dynTransfers int
 	messages     int
 	bytesSent    int64
@@ -182,6 +197,8 @@ func newProc(w *world, rank int) *proc {
 		rkernels:    make(map[reduceKey]*reduceKernel, 8),
 		kernelHint:  make(map[*ir.AssignArray]kernelHintEntry, 16),
 		rkernelHint: make(map[*ir.Reduce]reduceHintEntry, 8),
+		fkernels:    make(map[fusedKey]*fusedKernel, 8),
+		fkernelHint: make(map[*fuseRun]fusedHintEntry, 8),
 		scheds:      make(map[schedKey]*commSched, 16),
 		schedHint:   make(map[*comm.Transfer]*commSched, 16),
 		rng:         uint64(rank)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
@@ -320,6 +337,7 @@ func (p *proc) finish() {
 	w.statsMu.Unlock()
 	p.kernels, p.rkernels, p.scheds, p.fnCache = nil, nil, nil, nil
 	p.kernelHint, p.rkernelHint = nil, nil
+	p.fkernels, p.fkernelHint = nil, nil
 	p.sendPool, p.retPool, p.pending = nil, nil, nil
 	p.collStash, p.open, p.schedHint = nil, nil, nil
 	p.arena = arena{}
@@ -409,13 +427,31 @@ func (p *proc) block(stmts []ir.Stmt) {
 	if bp == nil {
 		panic("rt: basic block missing from plan")
 	}
+	runs := p.w.fuse[bp]
+	ri := 0
 	for pos := 0; pos <= len(stmts); pos++ {
 		for _, c := range bp.Calls[pos] {
 			p.execCall(c)
 		}
-		if pos < len(stmts) {
-			p.stmt(stmts[pos])
+		if pos >= len(stmts) {
+			break
 		}
+		for ri < len(runs) && runs[ri].end <= pos {
+			ri++
+		}
+		if ri < len(runs) && runs[ri].start == pos {
+			// A statically fusable run starts here. If it compiles at the
+			// current region, execute all members as one sweep and skip to
+			// the run's end; pos++ lands on Calls[end], which the static
+			// legality check guarantees is the run's first call boundary.
+			if fk := p.fusedFor(runs[ri]); fk != nil {
+				p.fusedExec(runs[ri], fk)
+				pos = runs[ri].end - 1
+				ri++
+				continue
+			}
+		}
+		p.stmt(stmts[pos])
 	}
 	if p.openCount != 0 {
 		panic("rt: transfers left open at block end")
@@ -502,6 +538,9 @@ func (p *proc) waitEdge(t vtime.Time, what string, reason critpath.Reason, from 
 
 func (p *proc) assignArray(s *ir.AssignArray) {
 	w := p.w
+	if p.inflightN > 0 && p.inflight[s.LHS.ID] > 0 {
+		p.joinArray(s.LHS.ID)
+	}
 	f := p.fields[s.LHS.ID]
 	reg := p.evalRegion(s.Region)
 	local := w.localRegion(reg, p.row, p.col)

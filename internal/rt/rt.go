@@ -60,6 +60,23 @@ type Config struct {
 	// ForceInterpreter and ForceLegacyComm.
 	ForceGoroutinePerProc bool
 
+	// ForceNoFusion disables cross-statement kernel fusion: every array
+	// statement compiles and executes individually even when the static
+	// analysis proves an adjacent run fusable. Simulated results must be
+	// identical either way; the flag exists as the fusion pass's
+	// differential-testing oracle, mirroring ForceInterpreter and
+	// ForceLegacyComm.
+	ForceNoFusion bool
+
+	// NoOverlap disables host-side comm/compute overlap: large packed
+	// sends execute synchronously on the sending processor's coroutine
+	// instead of overlapping their pack and delivery with subsequent host
+	// execution. Overlap never changes simulated results (virtual-time
+	// accounting is computed before the host work is deferred); the flag
+	// exists as the overlap engine's differential-testing oracle and for
+	// single-threaded debugging.
+	NoOverlap bool
+
 	// Collective selects the allreduce algorithm (package collective).
 	// The default, collective.Auto, picks the cheapest eligible algorithm
 	// for the (machine, library, mesh) binding by simulated critical-path
@@ -238,7 +255,17 @@ type world struct {
 	interp     bool // run array statements on the interpreter, not kernels
 	legacyComm bool // per-rectangle allocating messages, not pooled flat buffers
 	mn         bool // M:N scheduler (default), not goroutine-per-proc
+	overlap    bool // async pack+delivery of large sends (scheduler + pooled comm only)
 	chanCap    int  // per-pair channel capacity, derived from the plan
+
+	// fuse maps each planned block to its statically fusable statement
+	// runs (fuse.go). Built once at setup, read-only afterwards; nil under
+	// ForceInterpreter and ForceNoFusion.
+	fuse map[*comm.BlockPlan][]*fuseRun
+
+	// asyncWG tracks in-flight overlap goroutines so runSched can drain
+	// them before folding statistics and gathering arrays.
+	asyncWG sync.WaitGroup
 
 	configVals []float64     // by ScalarSym.ID, configs+consts evaluated
 	regionVals []grid.Region // by RegionSym.ID, evaluated declared regions
@@ -358,6 +385,13 @@ func Run(prog *ir.Program, plan *comm.Plan, cfg Config) (*Result, error) {
 		mn:         !cfg.ForceGoroutinePerProc,
 		chanCap:    pairChanCap(plan),
 		abort:      make(chan struct{}),
+	}
+	// Overlap needs the pooled comm engine (compiled pack schedules) and
+	// the M:N scheduler (deliverData + mailbox wakeups are its delivery
+	// path); the oracles run fully synchronously.
+	w.overlap = w.mn && !w.legacyComm && !cfg.NoOverlap
+	if !cfg.ForceInterpreter && !cfg.ForceNoFusion {
+		w.fuse = buildFusionTable(plan)
 	}
 	if err := w.setup(cfg); err != nil {
 		return nil, err

@@ -115,6 +115,11 @@ type scheduler struct {
 	live    int // processors whose body has not completed
 	stop    bool
 	runqHi  int // high-water runnable-queue depth (under mu)
+
+	// pendingAsync counts in-flight overlap jobs (overlap.go). Their
+	// deliveries can wake parked processors, so deadlock detection must
+	// not fire while any is pending.
+	pendingAsync int
 }
 
 // SchedStats reports the M:N scheduler's observability counters for one
@@ -243,6 +248,12 @@ func (w *world) runSched(workers int, body func(p *proc)) {
 	}
 	wg.Wait()
 
+	// Drain any overlap goroutines still packing or delivering: they touch
+	// mailboxes and message buffers, so the kill pass, the stats fold and
+	// gather must not run concurrently with them. Jobs never block, so the
+	// wait always terminates.
+	w.asyncWG.Wait()
+
 	// Kill pass: after the workers exit (completion, abort or deadlock),
 	// resume every processor that has not finished so its goroutine
 	// observes the stop flag, unwinds via errAborted and terminates. No
@@ -312,7 +323,7 @@ func (s *scheduler) next() *proc {
 			s.mu.Unlock()
 			return p
 		}
-		if s.running == 0 {
+		if s.running == 0 && s.pendingAsync == 0 {
 			s.stop = true
 			deadlocked := s.live > 0
 			s.cond.Broadcast()
@@ -323,7 +334,8 @@ func (s *scheduler) next() *proc {
 				// Nothing runnable, nothing running, bodies unfinished:
 				// every live processor is parked on an event no one can
 				// deliver. (Events are only delivered by running
-				// processors, and there are none.)
+				// processors and in-flight overlap jobs, and there are
+				// none of either.)
 				s.w.fail(fmt.Errorf("rt: scheduler deadlock: %s", s.parkedSummary()))
 			}
 			return nil
@@ -362,6 +374,26 @@ func (s *scheduler) stepped(done bool) {
 		s.live--
 	}
 	if s.running == 0 && s.head >= len(s.runq) {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// asyncAdd registers one in-flight overlap job (overlap.go). Called from
+// the spawning processor's coroutine while a worker is stepping it, so
+// the count is always raised before running can reach zero.
+func (s *scheduler) asyncAdd() {
+	s.mu.Lock()
+	s.pendingAsync++
+	s.mu.Unlock()
+}
+
+// asyncDone retires one overlap job after its delivery completed, waking
+// blocked workers so they re-evaluate the end-of-run condition.
+func (s *scheduler) asyncDone() {
+	s.mu.Lock()
+	s.pendingAsync--
+	if s.pendingAsync == 0 && s.running == 0 {
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
